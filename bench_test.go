@@ -1,0 +1,286 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (§5) plus the ablations called out in DESIGN.md. Each benchmark
+// reports the reproduced headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the paper-reproduction numbers alongside simulator throughput. The
+// full per-kernel tables come from cmd/vgiw-experiments.
+package vgiw
+
+import (
+	"testing"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/compile"
+	"vgiw/internal/core"
+	"vgiw/internal/engine"
+	"vgiw/internal/kernels"
+	"vgiw/internal/mem"
+	"vgiw/internal/simt"
+)
+
+// runSuite executes the full workload registry once per iteration and
+// returns the last iteration's runs.
+func runSuite(b *testing.B, opt bench.Options) []*bench.KernelRun {
+	b.Helper()
+	var runs []*bench.KernelRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = bench.RunAll(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return runs
+}
+
+// BenchmarkTable1Config reports the machine configuration table (Table 1).
+// There is nothing to measure; the benchmark exists so every table has a
+// bench target, and it verifies the config renders.
+func BenchmarkTable1Config(b *testing.B) {
+	opt := bench.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		t := bench.Table1(opt)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty Table 1")
+		}
+	}
+	b.ReportMetric(108, "units")
+}
+
+// BenchmarkTable2Workloads compiles every Table 2 kernel and reports the
+// registry size.
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range kernels.All() {
+			if _, err := spec.Build(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(kernels.All())), "kernels")
+}
+
+// BenchmarkFig3LVCvsRF reproduces Figure 3: LVC accesses as a fraction of
+// register-file accesses (paper: ~0.1 on average).
+func BenchmarkFig3LVCvsRF(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var ratios []float64
+	for _, r := range runs {
+		ratios = append(ratios, r.LVCOverRF())
+	}
+	b.ReportMetric(meanOf(ratios), "LVC/RF-ratio")
+}
+
+// BenchmarkFig7Speedup reproduces Figure 7: speedup of VGIW over the Fermi
+// baseline (paper: >3x average, 0.9-11x range).
+func BenchmarkFig7Speedup(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var sp []float64
+	best := 0.0
+	for _, r := range runs {
+		s := r.Speedup()
+		sp = append(sp, s)
+		if s > best {
+			best = s
+		}
+	}
+	b.ReportMetric(bench.Geomean(sp), "x-geomean-speedup")
+	b.ReportMetric(best, "x-best-speedup")
+}
+
+// BenchmarkFig8SpeedupVsSGMF reproduces Figure 8 (paper: ~1.45x average on
+// the SGMF-mappable subset).
+func BenchmarkFig8SpeedupVsSGMF(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var sp []float64
+	for _, r := range runs {
+		if r.SGMF != nil {
+			sp = append(sp, r.SpeedupVsSGMF())
+		}
+	}
+	b.ReportMetric(bench.Geomean(sp), "x-geomean-vs-sgmf")
+}
+
+// BenchmarkFig9EnergyEfficiency reproduces Figure 9 (paper: 1.75x average).
+func BenchmarkFig9EnergyEfficiency(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var eff []float64
+	for _, r := range runs {
+		eff = append(eff, r.EnergyEff("system"))
+	}
+	b.ReportMetric(bench.Geomean(eff), "x-geomean-efficiency")
+}
+
+// BenchmarkFig10EnergyByLevel reproduces Figure 10: efficiency at system,
+// die and core levels (the win concentrates in the compute engine).
+func BenchmarkFig10EnergyByLevel(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var sys, die, cor []float64
+	for _, r := range runs {
+		sys = append(sys, r.EnergyEff("system"))
+		die = append(die, r.EnergyEff("die"))
+		cor = append(cor, r.EnergyEff("core"))
+	}
+	b.ReportMetric(bench.Geomean(sys), "x-system")
+	b.ReportMetric(bench.Geomean(die), "x-die")
+	b.ReportMetric(bench.Geomean(cor), "x-core")
+}
+
+// BenchmarkFig11EnergyVsSGMF reproduces Figure 11 (paper: ~1.33x average).
+func BenchmarkFig11EnergyVsSGMF(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var eff []float64
+	for _, r := range runs {
+		if r.SGMF != nil {
+			eff = append(eff, r.EnergyEffVsSGMF())
+		}
+	}
+	b.ReportMetric(bench.Geomean(eff), "x-geomean-vs-sgmf")
+}
+
+// BenchmarkReconfigOverhead reproduces the §3.2 statistic (paper: 0.18%
+// average, <0.1% median).
+func BenchmarkReconfigOverhead(b *testing.B) {
+	runs := runSuite(b, bench.DefaultOptions())
+	var ohs []float64
+	for _, r := range runs {
+		ohs = append(ohs, r.VGIW.ConfigOverhead()*100)
+	}
+	b.ReportMetric(meanOf(ohs), "%-mean-overhead")
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// ablationSpeedup runs one representative divergent kernel under two VGIW
+// configs and reports cycles(B)/cycles(A) — >1 means config A is faster.
+func ablationSpeedup(b *testing.B, kernel string, mutate func(*core.Config)) float64 {
+	b.Helper()
+	spec, ok := kernels.ByName(kernel)
+	if !ok {
+		b.Fatalf("unknown kernel %s", kernel)
+	}
+	run := func(cfg core.Config) int64 {
+		inst, err := spec.Build(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.RunKernel(inst.Kernel, inst.Launch, inst.Global)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Check(inst.Global); err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		base := run(core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		mutate(&cfg)
+		variant := run(cfg)
+		ratio = float64(variant) / float64(base)
+	}
+	return ratio
+}
+
+// BenchmarkAblationReplication disables basic-block replication.
+func BenchmarkAblationReplication(b *testing.B) {
+	r := ablationSpeedup(b, "cfd.compute_flux", func(c *core.Config) { c.ReplicationOff = true })
+	b.ReportMetric(r, "x-slowdown-no-replication")
+}
+
+// BenchmarkAblationCVTBanks drops the CVT from 8 banks to 1.
+func BenchmarkAblationCVTBanks(b *testing.B) {
+	r := ablationSpeedup(b, "bfs.kernel1", func(c *core.Config) { c.CVTBanks = 1 })
+	b.ReportMetric(r, "x-slowdown-1-bank")
+}
+
+// BenchmarkAblationLVCSize sweeps the LVC from 64KB down to 16KB.
+func BenchmarkAblationLVCSize(b *testing.B) {
+	r := ablationSpeedup(b, "hotspot.kernel", func(c *core.Config) { c.LVC.SizeBytes = 16 << 10 })
+	b.ReportMetric(r, "x-slowdown-16KB-LVC")
+}
+
+// BenchmarkAblationL1Policy runs VGIW with Fermi's write-through L1.
+func BenchmarkAblationL1Policy(b *testing.B) {
+	r := ablationSpeedup(b, "cfd.time_step", func(c *core.Config) {
+		c.Mem = mem.DefaultConfig(mem.WriteThrough)
+	})
+	b.ReportMetric(r, "x-ratio-writethrough")
+}
+
+// BenchmarkAblationTileSize shrinks the CVT budget (tiny thread tiles).
+func BenchmarkAblationTileSize(b *testing.B) {
+	r := ablationSpeedup(b, "cfd.compute_flux", func(c *core.Config) { c.CVTCapacityBits = 2048 })
+	b.ReportMetric(r, "x-slowdown-small-tiles")
+}
+
+// BenchmarkAblationOoOThreads forces in-order thread execution (disables
+// the reservation buffers' dynamic-dataflow overtaking).
+func BenchmarkAblationOoOThreads(b *testing.B) {
+	r := ablationSpeedup(b, "bfs.kernel1", func(c *core.Config) {
+		c.Engine = engine.Options{InOrderThreads: true}
+	})
+	b.ReportMetric(r, "x-slowdown-inorder")
+}
+
+// BenchmarkAblationSplitForThroughput enables speculative block splitting.
+func BenchmarkAblationSplitForThroughput(b *testing.B) {
+	r := ablationSpeedup(b, "hotspot.kernel", func(c *core.Config) { c.SplitForThroughput = true })
+	b.ReportMetric(r, "x-ratio-split")
+}
+
+func meanOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// BenchmarkExtensionWriteCoalescing evaluates the paper's §5 future-work
+// item — memory coalescing on the MT-CGRF — implemented as a write-combining
+// buffer at the L1 banks. Reports cycles(with)/cycles(without) on a
+// store-heavy kernel (<1 = the extension helps).
+func BenchmarkExtensionWriteCoalescing(b *testing.B) {
+	r := ablationSpeedup(b, "kmeans.invert_mapping", func(c *core.Config) { c.WriteCoalescing = true })
+	b.ReportMetric(r, "x-ratio-write-coalescing")
+}
+
+// BenchmarkAblationGTOScheduler compares the SIMT baseline's warp scheduling
+// policies (related work [11] territory); reported as cycles(GTO)/cycles(LRR).
+func BenchmarkAblationGTOScheduler(b *testing.B) {
+	spec, _ := kernels.ByName("lud.diagonal")
+	run := func(pol simt.SchedPolicy) int64 {
+		inst, err := spec.Build(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := simt.DefaultConfig()
+		cfg.Scheduler = pol
+		ck, err := compile.Compile(inst.Kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := simt.NewMachine(cfg).Run(ck, inst.Launch, inst.Global)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cycles
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = float64(run(simt.SchedGTO)) / float64(run(simt.SchedLRR))
+	}
+	b.ReportMetric(ratio, "x-gto-over-lrr")
+}

@@ -1,0 +1,86 @@
+// kasmc is the kernel-assembly compiler driver: it parses a .kasm file and
+// dumps what the VGIW compiler produces — the scheduled CFG, the live-value
+// allocation, and each basic block's dataflow graph with its fabric
+// placement and replication factor.
+//
+// Usage:
+//
+//	kasmc kernel.kasm            # compile and summarize
+//	kasmc -dfg kernel.kasm       # also dump every block's dataflow graph
+//	kasmc -print kernel.kasm     # pretty-print the parsed kernel and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/fabric"
+	"vgiw/internal/kasm"
+)
+
+func main() {
+	var (
+		dumpDFG   = flag.Bool("dfg", false, "dump each block's dataflow graph")
+		printOnly = flag.Bool("print", false, "pretty-print the parsed kernel and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: kasmc [-dfg] [-print] <file.kasm>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	k, err := kasm.Parse(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	if *printOnly {
+		fmt.Print(kasm.Print(k))
+		return
+	}
+
+	grid, err := fabric.NewGrid(fabric.DefaultConfig())
+	if err != nil {
+		fail("%v", err)
+	}
+	ck, err := compile.CompileFitted(k, grid.Fits)
+	if err != nil {
+		fail("compile: %v", err)
+	}
+
+	fmt.Printf("kernel %s: %d blocks, %d instructions, %d registers, %d live values\n",
+		k.Name, len(k.Blocks), k.NumInstrs(), k.NumRegs, ck.LV.NumIDs)
+	for bi, g := range ck.DFGs {
+		blk := k.Blocks[bi]
+		replicas := fabric.MaxReplicasFor(grid, g)
+		p, err := fabric.Place(grid, g, replicas)
+		if err != nil {
+			fail("place block %d: %v", bi, err)
+		}
+		barrier := ""
+		if blk.Barrier {
+			barrier = " (barrier)"
+		}
+		fmt.Printf("\n@%d %s%s: %d nodes %v\n", bi, blk.Label, barrier, len(g.Nodes), g.ClassCounts())
+		fmt.Printf("  replication: %dx, critical path %d nodes, avg hop latency %.2f cycles\n",
+			replicas, g.CriticalPathLen(), p.AvgHops)
+		fmt.Printf("  LVC loads: %v, stores: %v\n", ck.LV.Loads[bi], ck.LV.Stores[bi])
+		fmt.Printf("  terminator: %s\n", blk.Term.String())
+		if *dumpDFG {
+			for _, n := range g.Nodes {
+				unit := grid.Units[p.UnitOf[0][n.ID]]
+				fmt.Printf("    node %3d %-8v %-7v @(%2d,%2d) in=%v ctl=%v\n",
+					n.ID, n.Kind, n.Instr.Op, unit.X, unit.Y, n.In, n.CtlIn)
+			}
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kasmc: "+format+"\n", args...)
+	os.Exit(1)
+}

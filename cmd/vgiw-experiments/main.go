@@ -1,0 +1,105 @@
+// vgiw-experiments regenerates every table and figure of the paper's
+// evaluation (§5): Table 1 (configuration), Table 2 (benchmarks), Figure 3
+// (LVC vs RF traffic), Figure 7 (speedup over Fermi), Figure 8 (speedup over
+// SGMF), Figures 9/10 (energy efficiency), Figure 11 (energy vs SGMF), and
+// the §3.2 reconfiguration-overhead statistic.
+//
+// Usage:
+//
+//	vgiw-experiments                 # all experiments at the default scale
+//	vgiw-experiments -scale 4        # larger workloads (closer to the paper)
+//	vgiw-experiments -fig7 -fig9     # a subset
+//	vgiw-experiments -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/kernels"
+	"vgiw/internal/report"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 2, "workload scale factor (1 = quick, 4 = closer to the paper's sizes)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		table1   = flag.Bool("table1", false, "Table 1: system configuration")
+		table2   = flag.Bool("table2", false, "Table 2: benchmark kernels")
+		fig3     = flag.Bool("fig3", false, "Figure 3: LVC vs RF accesses")
+		fig7     = flag.Bool("fig7", false, "Figure 7: speedup over Fermi")
+		fig8     = flag.Bool("fig8", false, "Figure 8: speedup over SGMF")
+		fig9     = flag.Bool("fig9", false, "Figure 9: energy efficiency over Fermi")
+		fig10    = flag.Bool("fig10", false, "Figure 10: energy efficiency by level")
+		fig11    = flag.Bool("fig11", false, "Figure 11: energy efficiency over SGMF")
+		reconfig = flag.Bool("reconfig", false, "reconfiguration overhead (§3.2)")
+		util     = flag.Bool("util", false, "extra: per-kernel execution profile")
+		lvcSweep = flag.Bool("lvc-sweep", false, "extra: LVC size design-space sweep (§3.4)")
+		energy   = flag.Bool("energy", false, "extra: absolute per-component energy breakdown")
+		jsonOut  = flag.Bool("json", false, "emit the whole suite as JSON and exit")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *table2 || *fig3 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *reconfig || *util)
+
+	opt := bench.DefaultOptions()
+	opt.Scale = *scale
+
+	fmt.Fprintf(os.Stderr, "running %d benchmark kernels on VGIW, Fermi-SIMT and SGMF (scale %d)...\n",
+		len(kernels.All()), *scale)
+	runs, err := bench.RunAll(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "all runs validated against the host references.\n\n")
+
+	if *jsonOut {
+		if err := bench.WriteJSON(os.Stdout, runs, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	emit := func(enabled bool, t *report.Table) {
+		if !enabled && !all {
+			return
+		}
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			err = t.Write(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	emit(*table1, bench.Table1(opt))
+	emit(*table2, bench.Table2(runs))
+	emit(*fig3, bench.Fig3(runs))
+	emit(*fig7, bench.Fig7(runs))
+	emit(*fig8, bench.Fig8(runs))
+	emit(*fig9, bench.Fig9(runs))
+	emit(*fig10, bench.Fig10(runs))
+	emit(*fig11, bench.Fig11(runs))
+	emit(*reconfig, bench.ReconfigTable(runs))
+	emit(*util, bench.UtilizationTable(runs))
+	emit(*energy, bench.EnergyBreakdown(runs))
+
+	if *lvcSweep {
+		t, err := bench.LVCSweep(opt, []int{16, 32, 64, 128, 256},
+			[]string{"hotspot.kernel", "lavamd.kernel", "lud.internal", "nw.needle1", "sm.compute_cost"})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		emit(true, t)
+	}
+}

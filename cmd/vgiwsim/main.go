@@ -1,0 +1,252 @@
+// vgiwsim runs one benchmark kernel on one architecture and prints its
+// execution statistics.
+//
+// Usage:
+//
+//	vgiwsim -list                          # available kernels
+//	vgiwsim -kernel bfs.kernel1            # run on VGIW
+//	vgiwsim -kernel nn.euclid -arch simt   # the Fermi-like baseline
+//	vgiwsim -kernel nn.euclid -arch sgmf   # the SGMF baseline
+//	vgiwsim -kernel hotspot.kernel -scale 4 -blocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/core"
+	"vgiw/internal/kernels"
+	"vgiw/internal/kir"
+	"vgiw/internal/power"
+	"vgiw/internal/sgmf"
+	"vgiw/internal/simt"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available kernels and exit")
+		name   = flag.String("kernel", "", "kernel to run (see -list)")
+		arch   = flag.String("arch", "vgiw", "architecture: vgiw, simt, or sgmf")
+		scale  = flag.Int("scale", 1, "workload scale factor")
+		blocks = flag.Bool("blocks", false, "print per-block scheduling detail (vgiw only)")
+		grid   = flag.Bool("grid", false, "print the fabric occupancy heatmap (vgiw only)")
+		trace  = flag.Bool("trace", false, "print a timeline of block schedules (vgiw only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range kernels.All() {
+			sgmfTag := ""
+			if s.SGMF {
+				sgmfTag = " [sgmf-mappable]"
+			}
+			fmt.Printf("%-26s %-8s %s%s\n", s.Name, s.Class, s.Description, sgmfTag)
+		}
+		return
+	}
+	spec, ok := kernels.ByName(*name)
+	if !ok {
+		fail("unknown kernel %q (use -list)", *name)
+	}
+	inst, err := spec.Build(*scale)
+	if err != nil {
+		fail("build: %v", err)
+	}
+	fmt.Printf("kernel %s: %d threads, %d blocks, %d instructions\n",
+		spec.Name, inst.Launch.Threads(), len(inst.Kernel.Blocks), inst.Kernel.NumInstrs())
+
+	switch *arch {
+	case "vgiw":
+		runVGIW(inst, *blocks, *grid, *trace)
+	case "simt":
+		runSIMT(inst)
+	case "sgmf":
+		runSGMF(inst)
+	default:
+		fail("unknown architecture %q", *arch)
+	}
+
+	if err := inst.Check(inst.Global); err != nil {
+		fail("OUTPUT VALIDATION FAILED: %v", err)
+	}
+	fmt.Println("output validated against the host reference.")
+}
+
+func runVGIW(inst *kernels.Instance, blocks, grid, trace bool) {
+	cfg := core.DefaultConfig()
+	if grid {
+		cfg.Engine.Profile = true
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	ck, err := m.Compile(inst.Kernel)
+	if err != nil {
+		fail("compile: %v", err)
+	}
+	res, err := m.Run(ck, inst.Launch, inst.Global)
+	if err != nil {
+		fail("run: %v", err)
+	}
+	e := power.VGIW(res, power.DefaultTable())
+	fmt.Printf("VGIW: %d cycles, %d tiles (tile size %d)\n", res.Cycles, res.Tiles, res.TileSize)
+	fmt.Printf("  reconfigurations: %d (%.3f%% of runtime)\n", res.Reconfigs, res.ConfigOverhead()*100)
+	fmt.Printf("  LVC: %d loads, %d stores (%.1f%% hit rate)\n", res.LVCLoads, res.LVCStores, hitPct(res))
+	fmt.Printf("  CVT: %d reads, %d writes\n", res.CVTReads, res.CVTWrites)
+	fmt.Printf("  ops by unit class: %v\n", res.Ops)
+	fmt.Printf("  energy: %.2f uJ (core %.2f, L1 %.2f, L2 %.2f, MC %.2f, DRAM %.2f)\n",
+		e.SystemLevel()/1e6, e.Core/1e6, e.L1/1e6, e.L2/1e6, e.MC/1e6, e.DRAM/1e6)
+	if blocks {
+		fmt.Println("  block schedule (block, threads, cycles):")
+		for _, br := range res.BlockRuns {
+			fmt.Printf("    @%d %-18s %6d threads %8d cycles\n",
+				br.Block, ck.Kernel.Blocks[br.Block].Label, br.Threads, br.Cycles)
+		}
+	}
+	if grid {
+		printGrid(m, res)
+	}
+	if trace {
+		printTrace(ck, res)
+	}
+}
+
+// printTrace renders the BBS schedule as a timeline: one bar per scheduled
+// vector, positioned by start cycle (the control-flow-coalescing Gantt).
+func printTrace(ck *compile.CompiledKernel, res *core.Result) {
+	if len(res.BlockRuns) == 0 {
+		return
+	}
+	const width = 72
+	scale := float64(width) / float64(res.Cycles)
+	fmt.Printf("  schedule timeline (%d cycles across %d chars):\n", res.Cycles, width)
+	shown := res.BlockRuns
+	const maxRows = 40
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	for _, br := range shown {
+		startCol := int(float64(br.Start) * scale)
+		barLen := int(float64(br.Cycles)*scale + 0.5)
+		if barLen < 1 {
+			barLen = 1
+		}
+		if startCol+barLen > width {
+			barLen = width - startCol
+		}
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		for i := 0; i < barLen; i++ {
+			bar[startCol+i] = '#'
+		}
+		fmt.Printf("    @%-2d %-14s |%s| %d thr\n",
+			br.Block, ck.Kernel.Blocks[br.Block].Label, string(bar), br.Threads)
+	}
+	if len(res.BlockRuns) > maxRows {
+		fmt.Printf("    ... %d more schedules\n", len(res.BlockRuns)-maxRows)
+	}
+}
+
+// printGrid renders the fabric as a heatmap: one cell per unit, showing the
+// unit class and its share of all executed operations.
+func printGrid(m *core.Machine, res *core.Result) {
+	g := m.Grid()
+	issues := make([]uint64, g.NumUnits())
+	var total uint64
+	for _, br := range res.BlockRuns {
+		if br.Stats == nil || br.Stats.UnitIssues == nil {
+			continue
+		}
+		for u, n := range br.Stats.UnitIssues {
+			issues[u] += n
+			total += n
+		}
+	}
+	if total == 0 {
+		return
+	}
+	var peak uint64
+	for _, n := range issues {
+		if n > peak {
+			peak = n
+		}
+	}
+	cfg := g.Config()
+	cells := make([][]string, cfg.Rows)
+	for y := range cells {
+		cells[y] = make([]string, cfg.Cols)
+	}
+	letter := map[kir.UnitClass]string{
+		kir.ClassALU: "A", kir.ClassSCU: "X", kir.ClassLDST: "M",
+		kir.ClassLVU: "V", kir.ClassSJU: "J", kir.ClassCVU: "C",
+	}
+	for _, u := range g.Units {
+		heat := "."
+		if peak > 0 && issues[u.ID] > 0 {
+			level := int(9 * issues[u.ID] / peak)
+			heat = fmt.Sprintf("%d", level)
+		}
+		cells[u.Y][u.X] = letter[u.Class] + heat
+	}
+	fmt.Println("  fabric occupancy (A=alu X=scu M=ldst V=lvu J=sju C=cvu; load 0..9, '.' idle):")
+	for _, row := range cells {
+		fmt.Print("    ")
+		for _, c := range row {
+			fmt.Printf("%-3s", c)
+		}
+		fmt.Println()
+	}
+}
+
+func runSIMT(inst *kernels.Instance) {
+	ck, err := compile.Compile(inst.Kernel)
+	if err != nil {
+		fail("compile: %v", err)
+	}
+	res, err := simt.NewMachine(simt.DefaultConfig()).Run(ck, inst.Launch, inst.Global)
+	if err != nil {
+		fail("run: %v", err)
+	}
+	e := power.SIMT(res, power.DefaultTable())
+	fmt.Printf("SIMT (Fermi-like SM): %d cycles\n", res.Cycles)
+	fmt.Printf("  warp instructions: %d (%d thread-instructions, %d masked lanes)\n",
+		res.WarpInstrs, res.ThreadInstrs, res.MaskedLanes)
+	fmt.Printf("  register file: %d reads, %d writes\n", res.RFReads, res.RFWrites)
+	fmt.Printf("  divergences: %d, barriers: %d\n", res.Divergences, res.Barriers)
+	fmt.Printf("  L1 transactions: %d, shared transactions: %d\n", res.L1Trans, res.ShTrans)
+	fmt.Printf("  energy: %.2f uJ (core %.2f)\n", e.SystemLevel()/1e6, e.Core/1e6)
+}
+
+func runSGMF(inst *kernels.Instance) {
+	m, err := sgmf.NewMachine(sgmf.DefaultConfig())
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := m.Run(inst.Kernel, inst.Launch, inst.Global)
+	if err != nil {
+		fail("run: %v (SGMF cannot map kernels with loops, barriers, or oversized graphs)", err)
+	}
+	e := power.SGMF(res, power.DefaultTable())
+	fmt.Printf("SGMF: %d cycles\n", res.Cycles)
+	fmt.Printf("  whole-kernel graph: %d nodes, %d replicas\n", res.GraphNodes, res.Replicas)
+	fmt.Printf("  predicated-off memory ops (divergence waste): %d\n", res.SkippedMemOps)
+	fmt.Printf("  energy: %.2f uJ (core %.2f)\n", e.SystemLevel()/1e6, e.Core/1e6)
+}
+
+func hitPct(res *core.Result) float64 {
+	acc := res.LVCStats.Accesses()
+	if acc == 0 {
+		return 100
+	}
+	return 100 * float64(acc-res.LVCStats.Misses()) / float64(acc)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vgiwsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package vgiw_test
+
+import (
+	"fmt"
+
+	"vgiw"
+)
+
+// ExampleRunVGIW doubles an array on the VGIW machine.
+func ExampleRunVGIW() {
+	b := vgiw.NewKernelBuilder("double")
+	b.SetParams(1)
+	blk := b.NewBlock("entry")
+	b.SetBlock(blk)
+	addr := b.Add(b.Param(0), b.Tid())
+	b.Store(addr, 0, b.FMul(b.Load(addr, 0), b.ConstF(2)))
+	b.Ret()
+	kernel := b.MustBuild()
+
+	global := make([]uint32, 64)
+	for i := range global {
+		global[i] = vgiw.F32(float32(i))
+	}
+	if _, err := vgiw.RunVGIW(kernel, vgiw.Launch1D(2, 32, 0), global, nil); err != nil {
+		panic(err)
+	}
+	fmt.Println(vgiw.AsF32(global[3]), vgiw.AsF32(global[63]))
+	// Output: 6 126
+}
+
+// ExampleParseKasm runs a kernel written in textual assembly.
+func ExampleParseKasm() {
+	kernel, err := vgiw.ParseKasm(`
+kernel addone params=1 shared=0
+@0 entry:
+  r0 = tid
+  r1 = param 0
+  r2 = add r1 r0
+  r3 = ld r2
+  r4 = add r3 r0
+  st r2 r4
+  jmp @1
+@1 exit:
+  ret
+`)
+	if err != nil {
+		panic(err)
+	}
+	global := []uint32{10, 10, 10, 10}
+	if err := vgiw.Interpret(kernel, vgiw.Launch1D(1, 4, 0), global); err != nil {
+		panic(err)
+	}
+	fmt.Println(global)
+	// Output: [10 11 12 13]
+}
+
+// ExampleWorkloads lists a few of the Table 2 benchmark kernels.
+func ExampleWorkloads() {
+	for _, w := range vgiw.Workloads()[:3] {
+		fmt.Printf("%s (%s)\n", w.Name, w.App)
+	}
+	// Output:
+	// bpnn.adjust_weights (BPNN)
+	// bpnn.layerforward (BPNN)
+	// bfs.kernel1 (BFS)
+}

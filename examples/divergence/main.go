@@ -1,0 +1,138 @@
+// Divergence walks through the paper's running example (Figures 1 and 2):
+// a nested conditional executed by eight threads whose control flow splits
+// three ways. It prints the VGIW machine's dynamically coalesced thread
+// vectors step by step — the Figure 2 walkthrough — and then compares all
+// three architectures on the same kernel.
+//
+//	go run ./examples/divergence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vgiw"
+	"vgiw/internal/core"
+)
+
+// buildFig1a reproduces the Figure 1a control flow:
+//
+//	BB1: if (c1) -> BB2 else BB3
+//	BB3: if (c2) -> BB4 else BB5
+//	BB2, BB4, BB5 -> BB6 (merge)
+//
+// The input array steers threads 1,3,8 through BB2, threads 2,7 through BB4
+// and threads 4-6 through BB5 (1-based thread numbering, as in the paper).
+func buildFig1a() *vgiw.Kernel {
+	b := vgiw.NewKernelBuilder("fig1a")
+	b.SetParams(2) // inBase, outBase
+	bb1 := b.NewBlock("BB1")
+	bb2 := b.NewBlock("BB2")
+	bb3 := b.NewBlock("BB3")
+	bb4 := b.NewBlock("BB4")
+	bb5 := b.NewBlock("BB5")
+	bb6 := b.NewBlock("BB6")
+
+	b.SetBlock(bb1)
+	v := b.Load(b.Add(b.Param(0), b.Tid()), 0)
+	b.Branch(b.SetLT(v, b.Const(10)), bb2, bb3)
+
+	b.SetBlock(bb2)
+	r := b.Mov(b.MulI(v, 2))
+	b.Jump(bb6)
+
+	b.SetBlock(bb3)
+	b.Branch(b.SetLT(v, b.Const(100)), bb4, bb5)
+
+	b.SetBlock(bb4)
+	b.MovTo(r, b.AddI(v, 7))
+	b.Jump(bb6)
+
+	b.SetBlock(bb5)
+	b.MovTo(r, b.Sub(v, b.Tid()))
+	b.Jump(bb6)
+
+	b.SetBlock(bb6)
+	b.Store(b.Add(b.Param(1), b.Tid()), 0, r)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// input steers the eight threads onto the paper's three paths.
+func input() []uint32 {
+	// threads (1-based) 1,3,8 -> v<10 (BB2); 2,7 -> 10<=v<100 (BB4);
+	// 4,5,6 -> v>=100 (BB5).
+	vals := []uint32{5, 50, 7, 200, 300, 400, 60, 9}
+	mem := make([]uint32, 16)
+	copy(mem, vals)
+	return mem
+}
+
+func main() {
+	launch := vgiw.Launch1D(1, 8, 0, 8)
+
+	// --- The Figure 2 walkthrough: coalesced thread vectors per block. ---
+	cfg := vgiw.DefaultVGIWConfig()
+	cfg.Engine.Profile = true // records each schedule's thread vector
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel := buildFig1a()
+	ck, err := m.Compile(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := input()
+	res, err := m.Run(ck, launch, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Control flow coalescing, step by step (paper Figure 2):")
+	for step, br := range res.BlockRuns {
+		fmt.Printf("  step %d: schedule %-4s -> thread vector %v\n",
+			step+1, ck.Kernel.Blocks[br.Block].Label, oneBased(br.ThreadIDs))
+	}
+	fmt.Printf("\nEvery block was configured exactly once (%d reconfigurations for %d blocks):\n",
+		res.Reconfigs, len(ck.Kernel.Blocks))
+	fmt.Println("the number of schedules tracks basic blocks, not the number of divergent paths.")
+
+	// --- Compare the three architectures (Figure 1b/1c/1d). ---
+	simtRes, err := vgiw.RunSIMT(buildFig1a(), launch, input(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sgmfRes, err := vgiw.RunSGMF(buildFig1a(), launch, input(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nThe same kernel on all three architectures:")
+	fmt.Printf("  %-22s %8d cycles  (%d lanes masked off by divergence)\n",
+		"von Neumann GPGPU:", simtRes.Cycles, simtRes.MaskedLanes)
+	fmt.Printf("  %-22s %8d cycles  (%d predicated-off memory ops: units held by not-taken paths)\n",
+		"SGMF dataflow:", sgmfRes.Cycles, sgmfRes.SkippedMemOps)
+	fmt.Printf("  %-22s %8d cycles  (each block runs only its own threads)\n",
+		"VGIW (this paper):", res.Cycles)
+
+	// Validate against the interpreter.
+	ref := input()
+	if err := vgiw.Interpret(buildFig1a(), launch, ref); err != nil {
+		log.Fatal(err)
+	}
+	for i := 8; i < 16; i++ {
+		if mem[i] != ref[i] {
+			log.Fatalf("output mismatch at %d", i)
+		}
+	}
+	fmt.Println("\noutputs validated against the reference interpreter.")
+}
+
+func oneBased(ids []int) []int {
+	out := make([]int, len(ids))
+	for i, t := range ids {
+		out[i] = t + 1
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Kasm loads a kernel from its textual assembly form, compiles it, and runs
+// it on the VGIW machine — the workflow for hand-authored kernels.
+//
+//	go run ./examples/kasm
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+	"math"
+
+	"vgiw"
+)
+
+//go:embed kernel.kasm
+var source string
+
+func main() {
+	kernel, err := vgiw.ParseKasm(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed kernel %q: %d blocks, %d instructions\n\n",
+		kernel.Name, len(kernel.Blocks), kernel.NumInstrs())
+
+	const n = 2048
+	global := make([]uint32, 3*n)
+	for i := 0; i < n; i++ {
+		global[i] = vgiw.F32(float32(i) * 0.25)
+		global[n+i] = vgiw.F32(float32(n-i) * 0.25)
+	}
+	launch := vgiw.Launch1D(n/128, 128, n, 0, n, 2*n)
+
+	res, err := vgiw.RunVGIW(kernel, launch, global, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		a := float32(i) * 0.25
+		b := float32(n-i) * 0.25
+		want := vgiw.F32(float32(math.Abs(float64(a - b))))
+		if global[2*n+i] != want {
+			log.Fatalf("out[%d] = %v, want %v", i, vgiw.AsF32(global[2*n+i]), vgiw.AsF32(want))
+		}
+	}
+	fmt.Printf("all %d outputs correct; VGIW took %d cycles (%.2f cycles/thread)\n",
+		n, res.Cycles, float64(res.Cycles)/float64(res.Threads))
+
+	// Round trip: the compiled kernel prints back to the same format.
+	fmt.Println("\nround-tripped kasm:")
+	fmt.Print(vgiw.PrintKasm(kernel))
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a small kernel with the public builder API, run it on
+// the VGIW machine, and print the execution statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vgiw"
+)
+
+func main() {
+	// saxpy with a bounds guard: if (tid < n) y[tid] = a*x[tid] + y[tid].
+	b := vgiw.NewKernelBuilder("saxpy")
+	b.SetParams(4) // n, a, xBase, yBase
+	entry := b.NewBlock("entry")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	inRange := b.SetLT(b.Tid(), b.Param(0))
+	b.Branch(inRange, body, exit)
+
+	b.SetBlock(body)
+	x := b.Load(b.Add(b.Param(2), b.Tid()), 0)
+	yAddr := b.Add(b.Param(3), b.Tid())
+	y := b.Load(yAddr, 0)
+	b.Store(yAddr, 0, b.FAdd(b.FMul(b.Param(1), x), y))
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	kernel, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inputs: x[i] = i, y[i] = 1; compute y = 0.5*x + y for n elements.
+	const n = 4096
+	global := make([]uint32, 2*n)
+	for i := 0; i < n; i++ {
+		global[i] = vgiw.F32(float32(i))
+		global[n+i] = vgiw.F32(1)
+	}
+	launch := vgiw.Launch1D(n/128, 128, n, vgiw.F32(0.5), 0, n)
+
+	res, err := vgiw.RunVGIW(kernel, launch, global, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify a few results.
+	for _, i := range []int{0, 1, 1000, n - 1} {
+		want := 0.5*float32(i) + 1
+		got := vgiw.AsF32(global[n+i])
+		fmt.Printf("y[%4d] = %-8g (want %g)\n", i, got, want)
+		if got != want {
+			log.Fatalf("mismatch at %d", i)
+		}
+	}
+
+	fmt.Printf("\nVGIW executed %d threads in %d cycles (%.2f cycles/thread)\n",
+		res.Threads, res.Cycles, float64(res.Cycles)/float64(res.Threads))
+	fmt.Printf("  %d basic-block schedules, %d grid reconfigurations (%.3f%% of runtime)\n",
+		len(res.BlockRuns), res.Reconfigs, res.ConfigOverhead()*100)
+	fmt.Printf("  live value cache: %d loads, %d stores\n", res.LVCLoads, res.LVCStores)
+	fmt.Printf("  control vector table: %d reads, %d writes\n", res.CVTReads, res.CVTWrites)
+	fmt.Printf("  per-block replication: %v\n", res.ReplicasOf)
+}

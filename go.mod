@@ -1,0 +1,3 @@
+module vgiw
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package bench is the experiment harness: it runs each benchmark kernel on
+// the VGIW machine, the Fermi-like SIMT baseline, and (where mappable) the
+// SGMF baseline, validates every run against the host reference, prices the
+// runs with the energy model, and computes the metrics behind the paper's
+// figures (3, 7, 8, 9, 10, 11) and tables (1, 2).
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/core"
+	"vgiw/internal/kernels"
+	"vgiw/internal/power"
+	"vgiw/internal/sgmf"
+	"vgiw/internal/simt"
+)
+
+// Options configures a harness run.
+type Options struct {
+	Scale int // workload scale factor (1 = default laptop size)
+	VGIW  core.Config
+	SIMT  simt.Config
+	SGMF  sgmf.Config
+	Power power.Table
+	// SkipSGMF disables the SGMF runs (they re-run the kernel a third time).
+	SkipSGMF bool
+}
+
+// DefaultOptions returns the paper's machine configurations.
+func DefaultOptions() Options {
+	return Options{
+		Scale: 1,
+		VGIW:  core.DefaultConfig(),
+		SIMT:  simt.DefaultConfig(),
+		SGMF:  sgmf.DefaultConfig(),
+		Power: power.DefaultTable(),
+	}
+}
+
+// KernelRun holds one benchmark's results on all machines.
+type KernelRun struct {
+	Spec   kernels.Spec
+	Blocks int // block count after VGIW compilation (fabric-fitted)
+
+	VGIW *core.Result
+	SIMT *simt.Result
+	SGMF *sgmf.Result // nil when the kernel is not SGMF-mappable
+
+	EnergyVGIW power.Breakdown
+	EnergySIMT power.Breakdown
+	EnergySGMF power.Breakdown // valid when SGMF != nil
+}
+
+// Speedup is Figure 7's metric: SIMT cycles / VGIW cycles.
+func (k *KernelRun) Speedup() float64 {
+	return float64(k.SIMT.Cycles) / float64(k.VGIW.Cycles)
+}
+
+// SpeedupVsSGMF is Figure 8's metric (0 when SGMF cannot run the kernel).
+func (k *KernelRun) SpeedupVsSGMF() float64 {
+	if k.SGMF == nil {
+		return 0
+	}
+	return float64(k.SGMF.Cycles) / float64(k.VGIW.Cycles)
+}
+
+// LVCOverRF is Figure 3's metric: LVC accesses as a fraction of the
+// baseline's register file accesses (both counted per word).
+func (k *KernelRun) LVCOverRF() float64 {
+	rf := k.SIMT.RFReads + k.SIMT.RFWrites
+	if rf == 0 {
+		return 0
+	}
+	return float64(k.VGIW.LVCLoads+k.VGIW.LVCStores) / float64(rf)
+}
+
+// EnergyEff is Figures 9/10's metric at system/die/core levels: the paper
+// defines efficiency as work/energy, so the ratio over the baseline is
+// E_baseline / E_vgiw.
+func (k *KernelRun) EnergyEff(level string) float64 {
+	var base, v float64
+	switch level {
+	case "core":
+		base, v = k.EnergySIMT.CoreLevel(), k.EnergyVGIW.CoreLevel()
+	case "die":
+		base, v = k.EnergySIMT.DieLevel(), k.EnergyVGIW.DieLevel()
+	default:
+		base, v = k.EnergySIMT.SystemLevel(), k.EnergyVGIW.SystemLevel()
+	}
+	return power.Efficiency(base, v)
+}
+
+// EnergyEffVsSGMF is Figure 11's metric.
+func (k *KernelRun) EnergyEffVsSGMF() float64 {
+	if k.SGMF == nil {
+		return 0
+	}
+	return power.Efficiency(k.EnergySGMF.SystemLevel(), k.EnergyVGIW.SystemLevel())
+}
+
+// RunOne executes one benchmark on all machines, validating each result.
+func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
+	out := &KernelRun{Spec: spec}
+
+	// VGIW.
+	inst, err := spec.Build(opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	mv, err := core.NewMachine(opt.VGIW)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := mv.Compile(inst.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("%s: vgiw compile: %w", spec.Name, err)
+	}
+	out.Blocks = len(ck.Kernel.Blocks)
+	rv, err := mv.Run(ck, inst.Launch, inst.Global)
+	if err != nil {
+		return nil, fmt.Errorf("%s: vgiw: %w", spec.Name, err)
+	}
+	if err := inst.Check(inst.Global); err != nil {
+		return nil, fmt.Errorf("%s: vgiw output: %w", spec.Name, err)
+	}
+	out.VGIW = rv
+	out.EnergyVGIW = power.VGIW(rv, opt.Power)
+
+	// SIMT baseline (compiled without fabric-driven splitting, as a native
+	// CUDA compile would be).
+	inst, err = spec.Build(opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cks, err := compile.Compile(inst.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := simt.NewMachine(opt.SIMT).Run(cks, inst.Launch, inst.Global)
+	if err != nil {
+		return nil, fmt.Errorf("%s: simt: %w", spec.Name, err)
+	}
+	if err := inst.Check(inst.Global); err != nil {
+		return nil, fmt.Errorf("%s: simt output: %w", spec.Name, err)
+	}
+	out.SIMT = rs
+	out.EnergySIMT = power.SIMT(rs, opt.Power)
+
+	// SGMF, when mappable.
+	if spec.SGMF && !opt.SkipSGMF {
+		inst, err = spec.Build(opt.Scale)
+		if err != nil {
+			return nil, err
+		}
+		mg, err := sgmf.NewMachine(opt.SGMF)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := mg.Run(inst.Kernel, inst.Launch, inst.Global)
+		if err != nil {
+			return nil, fmt.Errorf("%s: sgmf: %w", spec.Name, err)
+		}
+		if err := inst.Check(inst.Global); err != nil {
+			return nil, fmt.Errorf("%s: sgmf output: %w", spec.Name, err)
+		}
+		out.SGMF = rg
+		out.EnergySGMF = power.SGMF(rg, opt.Power)
+	}
+	return out, nil
+}
+
+// RunAll executes the full registry.
+func RunAll(opt Options) ([]*KernelRun, error) {
+	var runs []*KernelRun
+	for _, spec := range kernels.All() {
+		kr, err := RunOne(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, kr)
+	}
+	return runs, nil
+}
+
+// Geomean returns the geometric mean of positive values (zeros skipped).
+func Geomean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

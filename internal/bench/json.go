@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONRun is the machine-readable form of one benchmark's results.
+type JSONRun struct {
+	Kernel      string `json:"kernel"`
+	App         string `json:"app"`
+	Class       string `json:"class"`
+	Blocks      int    `json:"blocks"`
+	PaperBlocks int    `json:"paper_blocks"`
+	Threads     int    `json:"threads"`
+
+	VGIWCycles int64 `json:"vgiw_cycles"`
+	SIMTCycles int64 `json:"simt_cycles"`
+	SGMFCycles int64 `json:"sgmf_cycles,omitempty"`
+
+	Speedup       float64 `json:"speedup_vs_fermi"`
+	SpeedupVsSGMF float64 `json:"speedup_vs_sgmf,omitempty"`
+	LVCOverRF     float64 `json:"lvc_over_rf"`
+	EffSystem     float64 `json:"energy_eff_system"`
+	EffDie        float64 `json:"energy_eff_die"`
+	EffCore       float64 `json:"energy_eff_core"`
+	EffVsSGMF     float64 `json:"energy_eff_vs_sgmf,omitempty"`
+	ReconfigShare float64 `json:"reconfig_share"`
+	Reconfigs     uint64  `json:"reconfigs"`
+	LVCAccesses   uint64  `json:"lvc_accesses"`
+	RFAccesses    uint64  `json:"rf_accesses"`
+	EnergyVGIWPJ  float64 `json:"energy_vgiw_pj"`
+	EnergyFermiPJ float64 `json:"energy_fermi_pj"`
+}
+
+// JSONReport bundles the whole suite plus the headline geomeans.
+type JSONReport struct {
+	Scale int       `json:"scale"`
+	Runs  []JSONRun `json:"runs"`
+
+	GeomeanSpeedup   float64 `json:"geomean_speedup"`
+	GeomeanEffSystem float64 `json:"geomean_eff_system"`
+	GeomeanEffCore   float64 `json:"geomean_eff_core"`
+	GeomeanVsSGMF    float64 `json:"geomean_speedup_vs_sgmf"`
+	MeanLVCOverRF    float64 `json:"mean_lvc_over_rf"`
+}
+
+// BuildJSON converts harness results into the export form.
+func BuildJSON(runs []*KernelRun, scale int) JSONReport {
+	rep := JSONReport{Scale: scale}
+	var sp, effS, effC, spSGMF, lvc []float64
+	for _, r := range runs {
+		jr := JSONRun{
+			Kernel:        r.Spec.Name,
+			App:           r.Spec.App,
+			Class:         string(r.Spec.Class),
+			Blocks:        r.Blocks,
+			PaperBlocks:   r.Spec.PaperBlocks,
+			Threads:       r.VGIW.Threads,
+			VGIWCycles:    r.VGIW.Cycles,
+			SIMTCycles:    r.SIMT.Cycles,
+			Speedup:       r.Speedup(),
+			LVCOverRF:     r.LVCOverRF(),
+			EffSystem:     r.EnergyEff("system"),
+			EffDie:        r.EnergyEff("die"),
+			EffCore:       r.EnergyEff("core"),
+			ReconfigShare: r.VGIW.ConfigOverhead(),
+			Reconfigs:     r.VGIW.Reconfigs,
+			LVCAccesses:   r.VGIW.LVCLoads + r.VGIW.LVCStores,
+			RFAccesses:    r.SIMT.RFReads + r.SIMT.RFWrites,
+			EnergyVGIWPJ:  r.EnergyVGIW.SystemLevel(),
+			EnergyFermiPJ: r.EnergySIMT.SystemLevel(),
+		}
+		if r.SGMF != nil {
+			jr.SGMFCycles = r.SGMF.Cycles
+			jr.SpeedupVsSGMF = r.SpeedupVsSGMF()
+			jr.EffVsSGMF = r.EnergyEffVsSGMF()
+			spSGMF = append(spSGMF, jr.SpeedupVsSGMF)
+		}
+		sp = append(sp, jr.Speedup)
+		effS = append(effS, jr.EffSystem)
+		effC = append(effC, jr.EffCore)
+		lvc = append(lvc, jr.LVCOverRF)
+		rep.Runs = append(rep.Runs, jr)
+	}
+	rep.GeomeanSpeedup = Geomean(sp)
+	rep.GeomeanEffSystem = Geomean(effS)
+	rep.GeomeanEffCore = Geomean(effC)
+	rep.GeomeanVsSGMF = Geomean(spSGMF)
+	rep.MeanLVCOverRF = mean(lvc)
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func WriteJSON(w io.Writer, runs []*KernelRun, scale int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildJSON(runs, scale))
+}

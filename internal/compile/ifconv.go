@@ -1,0 +1,229 @@
+package compile
+
+import (
+	"fmt"
+
+	"vgiw/internal/kir"
+)
+
+// IfConvert flattens an acyclic kernel CFG into a single dataflow graph for
+// the SGMF baseline, which statically maps *all* control paths of a kernel
+// onto the fabric (§2, Figure 1c). Every thread flows through every node;
+// divergence is realized through predicated memory operations and select
+// nodes at control-flow merges. This is exactly the property the paper
+// criticizes: units on the not-taken path are occupied but do no useful work.
+//
+// Kernels with loops or barriers are rejected — the SGMF fabric cannot
+// express data-dependent iteration, which is the limitation VGIW removes.
+// Callers decide whether a kernel is SGMF-eligible by whether IfConvert
+// succeeds and whether the resulting graph fits the fabric.
+func IfConvert(k *kir.Kernel) (*BlockDFG, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if k.HasLoops() {
+		return nil, fmt.Errorf("compile: kernel %s has loops; not SGMF-mappable", k.Name)
+	}
+	for _, b := range k.Blocks {
+		if b.Barrier {
+			return nil, fmt.Errorf("compile: kernel %s uses barriers; not SGMF-mappable", k.Name)
+		}
+	}
+	reach := Reachable(k)
+	preds := Preds(k)
+
+	g := &BlockDFG{BlockID: -1}
+	newNode := func(n *Node) int {
+		n.ID = len(g.Nodes)
+		g.Nodes = append(g.Nodes, n)
+		return n.ID
+	}
+	g.Init = newNode(&Node{Kind: NodeInit})
+
+	noRegs := [3]kir.Reg{kir.NoReg, kir.NoReg, kir.NoReg}
+	// synth creates an ALU helper node; operands come from edges only.
+	synth := func(op kir.Op, in ...int) int {
+		return newNode(&Node{Kind: NodeOp, Instr: kir.Instr{Op: op, Dst: kir.NoReg, Src: noRegs}, In: in})
+	}
+	constNode := func(v int32) int {
+		return newNode(&Node{Kind: NodeOp, Instr: kir.Instr{Op: kir.OpConst, Dst: kir.NoReg, Src: noRegs, Imm: v}, In: []int{g.Init}})
+	}
+
+	// Predicates are node IDs; -1 means "always true".
+	type edge struct{ from, to int }
+	edgePred := make(map[edge]int)
+	// outStates[b] maps each register to the node holding its value at the
+	// exit of block b (valid once b has been processed).
+	outStates := make([]map[kir.Reg]int, len(k.Blocks))
+
+	type memState struct {
+		lastStore       int
+		loadsSinceStore []int
+	}
+	global := memState{lastStore: -1}
+	shared := memState{lastStore: -1}
+
+	// ScheduleBlocks numbers blocks in RPO, so for an acyclic CFG ascending
+	// index is a topological order.
+	for bi := range k.Blocks {
+		if !reach[bi] {
+			continue
+		}
+		b := k.Blocks[bi]
+
+		st := make(map[kir.Reg]int)
+		bp := -1
+		if bi != 0 {
+			type incoming struct {
+				pred int
+				st   map[kir.Reg]int
+			}
+			var inc []incoming
+			for _, p := range preds[bi] {
+				inc = append(inc, incoming{edgePred[edge{p, bi}], outStates[p]})
+			}
+			if len(inc) == 0 {
+				return nil, fmt.Errorf("compile: kernel %s block %d (%s) reachable but has no predecessors", k.Name, bi, b.Label)
+			}
+			// Block predicate = OR of incoming edge predicates; an
+			// always-true edge makes the whole block unconditional.
+			bp = inc[0].pred
+			for _, ic := range inc[1:] {
+				if bp == -1 || ic.pred == -1 {
+					bp = -1
+					break
+				}
+				bp = synth(kir.OpOr, bp, ic.pred)
+			}
+			// Merge register states. Use the last incoming state as the
+			// fallback and wrap selects for the others.
+			regs := make(map[kir.Reg]bool)
+			for _, ic := range inc {
+				for r := range ic.st {
+					regs[r] = true
+				}
+			}
+			for r := range regs {
+				cur, have := -1, false
+				allSame := true
+				for _, ic := range inc {
+					v, ok := ic.st[r]
+					if !ok {
+						continue
+					}
+					if !have {
+						cur, have = v, true
+					} else if v != cur {
+						allSame = false
+					}
+				}
+				if !have {
+					continue
+				}
+				if allSame {
+					st[r] = cur
+					continue
+				}
+				sel := -1
+				for _, ic := range inc {
+					v, ok := ic.st[r]
+					if !ok {
+						continue
+					}
+					switch {
+					case sel == -1:
+						sel = v // base value (fallback path)
+					case ic.pred == -1:
+						sel = v // unconditional path dominates
+					default:
+						sel = synth(kir.OpSelect, ic.pred, v, sel)
+					}
+				}
+				st[r] = sel
+			}
+		}
+
+		for _, in := range b.Instrs {
+			n := &Node{Kind: NodeOp, Instr: in}
+			nsrc := in.Op.NumSrc()
+			if nsrc == 0 {
+				n.In = []int{g.Init}
+			} else {
+				for i := 0; i < nsrc; i++ {
+					v, ok := st[in.Src[i]]
+					if !ok {
+						return nil, fmt.Errorf("compile: kernel %s block %d (%s): r%d undefined on some path",
+							k.Name, bi, b.Label, in.Src[i])
+					}
+					n.In = append(n.In, v)
+				}
+			}
+			if in.Op.IsMemory() {
+				if bp != -1 {
+					n.HasPred = true
+					n.Pred = len(n.In) // index of the predicate within In
+					n.In = append(n.In, bp)
+				}
+				ms := &global
+				if in.Op.IsShared() {
+					ms = &shared
+				}
+				if in.Op.IsStore() {
+					if ms.lastStore >= 0 {
+						n.CtlIn = append(n.CtlIn, ms.lastStore)
+					}
+					n.CtlIn = append(n.CtlIn, ms.loadsSinceStore...)
+				} else if ms.lastStore >= 0 {
+					n.CtlIn = append(n.CtlIn, ms.lastStore)
+				}
+				id := newNode(n)
+				if in.Op.IsStore() {
+					ms.lastStore = id
+					ms.loadsSinceStore = nil
+				} else {
+					ms.loadsSinceStore = append(ms.loadsSinceStore, id)
+				}
+				if in.Op.HasDst() {
+					st[in.Dst] = id
+				}
+				continue
+			}
+			id := newNode(n)
+			if in.Op.HasDst() {
+				st[in.Dst] = id
+			}
+		}
+		outStates[bi] = st
+
+		switch b.Term.Kind {
+		case kir.TermJump:
+			edgePred[edge{bi, b.Term.Then}] = bp
+		case kir.TermBranch:
+			c, ok := st[b.Term.Cond]
+			if !ok {
+				return nil, fmt.Errorf("compile: kernel %s block %d (%s): branch condition undefined", k.Name, bi, b.Label)
+			}
+			// Normalize the condition to 0/1 so predicates compose with
+			// bitwise AND/OR (branches may test arbitrary nonzero values).
+			zero := constNode(0)
+			cNorm := synth(kir.OpSetNE, c, zero)
+			ncond := synth(kir.OpSetEQ, c, zero)
+			tPred, ePred := cNorm, ncond
+			if bp != -1 {
+				tPred = synth(kir.OpAnd, bp, cNorm)
+				ePred = synth(kir.OpAnd, bp, ncond)
+			}
+			edgePred[edge{bi, b.Term.Then}] = tPred
+			edgePred[edge{bi, b.Term.Else}] = ePred
+		case kir.TermRet:
+			// Threads simply finish; the single terminator below collects
+			// them.
+		}
+	}
+
+	g.Term = newNode(&Node{Kind: NodeTerm, In: []int{g.Init}})
+	g.computeOut()
+	g.insertSplits()
+	g.normalize()
+	return g, nil
+}

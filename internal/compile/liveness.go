@@ -1,0 +1,140 @@
+package compile
+
+import "vgiw/internal/kir"
+
+// BlockFlow summarizes one block's register dataflow.
+type BlockFlow struct {
+	// UpwardUse holds registers read before any definition in the block
+	// (they must arrive from a predecessor).
+	UpwardUse map[kir.Reg]bool
+	// Def holds registers defined anywhere in the block.
+	Def map[kir.Reg]bool
+	// LiveIn / LiveOut are the fixed-point liveness sets.
+	LiveIn, LiveOut map[kir.Reg]bool
+}
+
+// Liveness computes classic backward liveness over the kernel CFG. The
+// terminator's condition register counts as a use at the end of its block.
+func Liveness(k *kir.Kernel) []BlockFlow {
+	n := len(k.Blocks)
+	flows := make([]BlockFlow, n)
+	for bi, b := range k.Blocks {
+		f := BlockFlow{
+			UpwardUse: make(map[kir.Reg]bool),
+			Def:       make(map[kir.Reg]bool),
+			LiveIn:    make(map[kir.Reg]bool),
+			LiveOut:   make(map[kir.Reg]bool),
+		}
+		for _, in := range b.Instrs {
+			for i := 0; i < in.Op.NumSrc(); i++ {
+				if r := in.Src[i]; !f.Def[r] {
+					f.UpwardUse[r] = true
+				}
+			}
+			if in.Op.HasDst() {
+				f.Def[in.Dst] = true
+			}
+		}
+		if b.Term.Kind == kir.TermBranch {
+			if r := b.Term.Cond; !f.Def[r] {
+				f.UpwardUse[r] = true
+			}
+		}
+		flows[bi] = f
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			f := &flows[bi]
+			for _, s := range k.Blocks[bi].Term.Succs() {
+				for r := range flows[s].LiveIn {
+					if !f.LiveOut[r] {
+						f.LiveOut[r] = true
+						changed = true
+					}
+				}
+			}
+			for r := range f.UpwardUse {
+				if !f.LiveIn[r] {
+					f.LiveIn[r] = true
+					changed = true
+				}
+			}
+			for r := range f.LiveOut {
+				if !f.Def[r] && !f.LiveIn[r] {
+					f.LiveIn[r] = true
+					changed = true
+				}
+			}
+			// A register used after a redefinition point inside the block
+			// is not upward-exposed; handled by UpwardUse above. A register
+			// that is live-out and also defined needs no LiveIn entry.
+		}
+	}
+	return flows
+}
+
+// LiveValues is the compiler's live-value allocation (§3.1): every register
+// that crosses a basic-block boundary gets a live-value ID, and each block
+// records which live values it must load from and store to the LVC.
+type LiveValues struct {
+	// IDOf maps a register to its live-value ID; registers that never
+	// cross a block boundary are absent.
+	IDOf map[kir.Reg]int
+	// NumIDs is the number of allocated live-value IDs.
+	NumIDs int
+	// Loads[b] lists registers block b must fetch from the LVC (sorted).
+	Loads [][]kir.Reg
+	// Stores[b] lists registers block b must write to the LVC: registers
+	// the block defines that are live-out (sorted).
+	Stores [][]kir.Reg
+}
+
+// AllocateLiveValues assigns live-value IDs. The allocation is one ID per
+// crossing register, which mirrors the paper's "similar to traditional
+// register allocation" description without the reuse optimization (IDs index
+// a memory-resident matrix, so reuse only affects footprint, not traffic).
+func AllocateLiveValues(k *kir.Kernel) *LiveValues {
+	flows := Liveness(k)
+	lv := &LiveValues{
+		IDOf:   make(map[kir.Reg]int),
+		Loads:  make([][]kir.Reg, len(k.Blocks)),
+		Stores: make([][]kir.Reg, len(k.Blocks)),
+	}
+	assign := func(r kir.Reg) {
+		if _, ok := lv.IDOf[r]; !ok {
+			lv.IDOf[r] = lv.NumIDs
+			lv.NumIDs++
+		}
+	}
+	for bi := range k.Blocks {
+		f := &flows[bi]
+		// Loads: upward-exposed uses that are live-in.
+		for r := range f.UpwardUse {
+			if f.LiveIn[r] {
+				assign(r)
+				lv.Loads[bi] = append(lv.Loads[bi], r)
+			}
+		}
+		// Stores: definitions that are live-out.
+		for r := range f.Def {
+			if f.LiveOut[r] {
+				assign(r)
+				lv.Stores[bi] = append(lv.Stores[bi], r)
+			}
+		}
+		sortRegs(lv.Loads[bi])
+		sortRegs(lv.Stores[bi])
+	}
+	return lv
+}
+
+func sortRegs(rs []kir.Reg) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package compile
+
+import (
+	"fmt"
+
+	"vgiw/internal/kir"
+)
+
+// Dominators computes the immediate dominator of every reachable block
+// (entry's idom is itself; unreachable blocks get -1), by iterative dataflow
+// over full dominator sets — kernels here are small.
+func Dominators(k *kir.Kernel) []int {
+	n := len(k.Blocks)
+	reach := Reachable(k)
+	preds := Preds(k)
+
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	dom := make([][]bool, n)
+	for b := 0; b < n; b++ {
+		if !reach[b] {
+			continue
+		}
+		if b == 0 {
+			dom[b] = make([]bool, n)
+			dom[b][0] = true
+		} else {
+			dom[b] = append([]bool(nil), full...)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := 1; b < n; b++ {
+			if !reach[b] {
+				continue
+			}
+			next := append([]bool(nil), full...)
+			any := false
+			for _, p := range preds[b] {
+				if !reach[p] {
+					continue
+				}
+				any = true
+				for i := 0; i < n; i++ {
+					next[i] = next[i] && dom[p][i]
+				}
+			}
+			if !any {
+				next = make([]bool, n)
+			}
+			next[b] = true
+			for i := 0; i < n; i++ {
+				if next[i] != dom[b][i] {
+					dom[b] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	idom := make([]int, n)
+	for b := 0; b < n; b++ {
+		idom[b] = -1
+		if !reach[b] {
+			continue
+		}
+		if b == 0 {
+			idom[b] = 0
+			continue
+		}
+		best, bestSize := -1, -1
+		for c := 0; c < n; c++ {
+			if c == b || !dom[b][c] {
+				continue
+			}
+			size := 0
+			for i := 0; i < n; i++ {
+				if dom[c][i] {
+					size++
+				}
+			}
+			if size > bestSize {
+				best, bestSize = c, size
+			}
+		}
+		idom[b] = best
+	}
+	return idom
+}
+
+// Loop describes a natural loop: a single back edge latch->header whose body
+// is the set of blocks that reach the latch without passing the header.
+type Loop struct {
+	Header int
+	Latch  int
+	Body   []int // includes header and latch, ascending
+}
+
+// NaturalLoops finds the natural loops of a scheduled kernel (back edges are
+// edges to a block with an ID <= the source's, per the §3.1 numbering). Back
+// edges whose target does not dominate their source (irreducible flow) are
+// skipped.
+func NaturalLoops(k *kir.Kernel) []Loop {
+	idom := Dominators(k)
+	dominates := func(a, b int) bool {
+		for b >= 0 {
+			if a == b {
+				return true
+			}
+			if b == 0 {
+				return false
+			}
+			b = idom[b]
+		}
+		return false
+	}
+	preds := Preds(k)
+	var loops []Loop
+	for latch, b := range k.Blocks {
+		for _, h := range b.Term.Succs() {
+			if h > latch || !dominates(h, latch) {
+				continue
+			}
+			// Collect the body: walk predecessors back from the latch,
+			// stopping at the header.
+			in := map[int]bool{h: true, latch: true}
+			stack := []int{latch}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if x == h {
+					continue
+				}
+				for _, p := range preds[x] {
+					if !in[p] {
+						in[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+			var body []int
+			for bi := range k.Blocks {
+				if in[bi] {
+					body = append(body, bi)
+				}
+			}
+			loops = append(loops, Loop{Header: h, Latch: latch, Body: body})
+		}
+	}
+	return loops
+}
+
+// countedTrip recognizes the builder's canonical counted-loop shape and
+// returns its constant trip count. The shape the Builder emits is
+//
+//	(preheader)  i  = const INIT
+//	(body)       t  = add i, const STEP     ; or add STEP, i
+//	(body)       mov i, t                   ; loop-carried update
+//	(latch)      c  = setlt/setle t, const BOUND
+//	(latch)      br c @header @exit
+//
+// The body executes once with i = INIT, then repeats while the comparison
+// holds on the post-increment value t.
+func countedTrip(k *kir.Kernel, l Loop) (int, kir.Reg, bool) {
+	latch := k.Blocks[l.Latch]
+	term := latch.Term
+	if term.Kind != kir.TermBranch || term.Then != l.Header {
+		return 0, kir.NoReg, false
+	}
+	inBody := map[int]bool{}
+	for _, bi := range l.Body {
+		inBody[bi] = true
+	}
+	// defInLoop returns the unique in-loop definition of r.
+	defInLoop := func(r kir.Reg) (kir.Instr, bool) {
+		var found kir.Instr
+		count := 0
+		for bi := range k.Blocks {
+			if !inBody[bi] {
+				continue
+			}
+			for _, in := range k.Blocks[bi].Instrs {
+				if in.Op.HasDst() && in.Dst == r {
+					found = in
+					count++
+				}
+			}
+		}
+		return found, count == 1
+	}
+
+	cmp, ok := defInLoop(term.Cond)
+	if !ok || (cmp.Op != kir.OpSetLT && cmp.Op != kir.OpSetLE) {
+		return 0, kir.NoReg, false
+	}
+	bound, ok := findConst(k, l, cmp.Src[1])
+	if !ok {
+		return 0, kir.NoReg, false
+	}
+	// cmp compares the post-increment temp t = add(i, STEP).
+	add, ok := defInLoop(cmp.Src[0])
+	if !ok || add.Op != kir.OpAdd {
+		return 0, kir.NoReg, false
+	}
+	var ind kir.Reg
+	var step int32
+	if c, isC := findConst(k, l, add.Src[1]); isC {
+		ind, step = add.Src[0], c
+	} else if c, isC := findConst(k, l, add.Src[0]); isC {
+		ind, step = add.Src[1], c
+	} else {
+		return 0, kir.NoReg, false
+	}
+	if step == 0 {
+		return 0, kir.NoReg, false
+	}
+	// The carried update `mov ind, t` must be the induction register's only
+	// in-loop definition.
+	mov, ok := defInLoop(ind)
+	if !ok || mov.Op != kir.OpMov || mov.Src[0] != add.Dst {
+		return 0, kir.NoReg, false
+	}
+	init, ok := initialValue(k, l, ind)
+	if !ok {
+		return 0, kir.NoReg, false
+	}
+
+	trips := 0
+	v := init
+	for {
+		trips++
+		if trips > 1024 {
+			return 0, kir.NoReg, false // too big to unroll
+		}
+		v += step
+		var cont bool
+		if cmp.Op == kir.OpSetLT {
+			cont = v < bound
+		} else {
+			cont = v <= bound
+		}
+		if !cont {
+			break
+		}
+	}
+	return trips, ind, true
+}
+
+// findConst resolves a register to a compile-time constant: its unique
+// definition is OpConst and it is not redefined inside the loop.
+func findConst(k *kir.Kernel, l Loop, r kir.Reg) (int32, bool) {
+	var val int32
+	defs := 0
+	for bi, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasDst() && in.Dst == r {
+				defs++
+				if in.Op != kir.OpConst {
+					return 0, false
+				}
+				val = in.Imm
+				_ = bi
+			}
+		}
+	}
+	return val, defs == 1
+}
+
+// initialValue resolves the induction register's value at loop entry: its
+// unique definition outside the loop must be a constant.
+func initialValue(k *kir.Kernel, l Loop, ind kir.Reg) (int32, bool) {
+	inBody := map[int]bool{}
+	for _, b := range l.Body {
+		inBody[b] = true
+	}
+	var val int32
+	defs := 0
+	for bi, b := range k.Blocks {
+		if inBody[bi] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op.HasDst() && in.Dst == ind {
+				defs++
+				if in.Op != kir.OpConst {
+					return 0, false
+				}
+				val = in.Imm
+			}
+		}
+	}
+	return val, defs == 1
+}
+
+// UnrollLoops fully unrolls counted loops with compile-time-constant trip
+// counts (up to maxTrips iterations and maxInstrs emitted instructions per
+// loop). This is what lets fixed-trip kernels — e.g. kmeans' feature loop —
+// flatten into acyclic CFGs that the SGMF baseline can map. The kernel is
+// modified in place; returns how many loops were unrolled.
+func UnrollLoops(k *kir.Kernel, maxTrips, maxInstrs int) (int, error) {
+	unrolled := 0
+	for rounds := 0; rounds < 8; rounds++ {
+		if _, err := ScheduleBlocks(k); err != nil {
+			return unrolled, err
+		}
+		loops := NaturalLoops(k)
+		done := true
+		for _, l := range loops {
+			// Only single-block self loops and simple two-block bodies are
+			// handled: the body must not contain further branching.
+			if !simpleBody(k, l) {
+				continue
+			}
+			trips, _, ok := countedTrip(k, l)
+			if !ok || trips > maxTrips {
+				continue
+			}
+			bodyInstrs := 0
+			for _, bi := range l.Body {
+				bodyInstrs += len(k.Blocks[bi].Instrs)
+			}
+			if trips*bodyInstrs > maxInstrs {
+				continue
+			}
+			unrollOne(k, l, trips)
+			unrolled++
+			done = false
+			break // CFG changed; re-analyze
+		}
+		if done {
+			return unrolled, nil
+		}
+	}
+	return unrolled, nil
+}
+
+// simpleBody reports whether the loop body is a straight-line chain ending
+// at the latch (no inner branches besides the latch's).
+func simpleBody(k *kir.Kernel, l Loop) bool {
+	for _, bi := range l.Body {
+		if k.Blocks[bi].Barrier {
+			return false // barrier loops stay loops
+		}
+		t := k.Blocks[bi].Term
+		if bi == l.Latch {
+			continue
+		}
+		if t.Kind != kir.TermJump {
+			return false
+		}
+	}
+	// The body must be a single chain header -> ... -> latch inside the loop.
+	inBody := map[int]bool{}
+	for _, bi := range l.Body {
+		inBody[bi] = true
+	}
+	cur, steps := l.Header, 0
+	for cur != l.Latch {
+		cur = k.Blocks[cur].Term.Then
+		steps++
+		if !inBody[cur] || steps > len(l.Body) {
+			return false
+		}
+	}
+	if steps+1 != len(l.Body) {
+		return false
+	}
+	// Single back edge into the header: the header's only in-loop
+	// predecessor is the latch.
+	preds := Preds(k)
+	for _, p := range preds[l.Header] {
+		inBody := false
+		for _, bi := range l.Body {
+			if p == bi {
+				inBody = true
+			}
+		}
+		if inBody && p != l.Latch {
+			return false
+		}
+	}
+	return true
+}
+
+// unrollOne replaces the loop with `trips` copies of its body chained by
+// jumps, ending at the latch's exit successor.
+func unrollOne(k *kir.Kernel, l Loop, trips int) {
+	// Gather the body in control order: header .. latch (body is a chain).
+	order := bodyChain(k, l)
+	exit := k.Blocks[l.Latch].Term.Else // the not-taken side leaves the loop
+
+	// Build the unrolled instruction stream in fresh blocks appended at the
+	// end; then rewrite the header to jump at the first copy.
+	var copies []*kir.Block
+	for it := 0; it < trips; it++ {
+		nb := &kir.Block{Label: fmt.Sprintf("%s.unroll%d", k.Blocks[l.Header].Label, it)}
+		for _, bi := range order {
+			nb.Instrs = append(nb.Instrs, append([]kir.Instr(nil), k.Blocks[bi].Instrs...)...)
+		}
+		copies = append(copies, nb)
+	}
+	base := len(k.Blocks)
+	for i, nb := range copies {
+		if i+1 < len(copies) {
+			nb.Term = kir.Terminator{Kind: kir.TermJump, Then: base + i + 1}
+		} else {
+			nb.Term = kir.Terminator{Kind: kir.TermJump, Then: exit}
+		}
+		k.Blocks = append(k.Blocks, nb)
+	}
+	// Redirect every edge that entered the header from outside the loop to
+	// the first copy, and neuter the old loop blocks (they become
+	// unreachable and are dropped by the next ScheduleBlocks).
+	inBody := map[int]bool{}
+	for _, bi := range l.Body {
+		inBody[bi] = true
+	}
+	for bi, b := range k.Blocks[:base] {
+		if inBody[bi] {
+			continue
+		}
+		t := &b.Term
+		switch t.Kind {
+		case kir.TermJump:
+			if t.Then == l.Header {
+				t.Then = base
+			}
+		case kir.TermBranch:
+			if t.Then == l.Header {
+				t.Then = base
+			}
+			if t.Else == l.Header {
+				t.Else = base
+			}
+		}
+	}
+}
+
+// bodyChain returns the loop body blocks in control order starting at the
+// header (the body is a straight-line chain per simpleBody).
+func bodyChain(k *kir.Kernel, l Loop) []int {
+	order := []int{l.Header}
+	cur := l.Header
+	for cur != l.Latch {
+		cur = k.Blocks[cur].Term.Then
+		order = append(order, cur)
+	}
+	return order
+}

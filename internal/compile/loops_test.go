@@ -1,0 +1,219 @@
+package compile
+
+import (
+	"testing"
+
+	"vgiw/internal/kir"
+)
+
+// countedLoopKernel: out[tid] = sum of (tid+j) for j in [0, trips).
+func countedLoopKernel(trips int32) *kir.Kernel {
+	b := kir.NewBuilder("counted")
+	b.SetParams(1)
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	i := b.Const(0)
+	sum := b.Const(0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	sum1 := b.Add(sum, b.Add(tid, i))
+	b.MovTo(sum, sum1)
+	i1 := b.AddI(i, 1)
+	b.MovTo(i, i1)
+	b.Branch(b.SetLT(i1, b.Const(trips)), loop, exit)
+
+	b.SetBlock(exit)
+	b.Store(b.Add(b.Param(0), tid), 0, sum)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	k := diamond(t)
+	idom := Dominators(k)
+	// bb1 dominates everything; bb3 dominates bb4/bb5; bb6's idom is bb1.
+	if idom[0] != 0 {
+		t.Errorf("idom[entry] = %d", idom[0])
+	}
+	if idom[3] != 2 || idom[4] != 2 {
+		t.Errorf("idom of bb4/bb5 = %d/%d, want bb3 (2)", idom[3], idom[4])
+	}
+	if idom[5] != 0 {
+		t.Errorf("idom[merge] = %d, want entry", idom[5])
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	k := countedLoopKernel(4)
+	if _, err := ScheduleBlocks(k); err != nil {
+		t.Fatal(err)
+	}
+	loops := NaturalLoops(k)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != l.Latch {
+		t.Errorf("self loop expected: header %d latch %d", l.Header, l.Latch)
+	}
+	if len(l.Body) != 1 {
+		t.Errorf("body = %v, want single block", l.Body)
+	}
+}
+
+func TestCountedTrip(t *testing.T) {
+	for _, trips := range []int32{1, 3, 7, 16} {
+		k := countedLoopKernel(trips)
+		if _, err := ScheduleBlocks(k); err != nil {
+			t.Fatal(err)
+		}
+		loops := NaturalLoops(k)
+		if len(loops) != 1 {
+			t.Fatalf("trips=%d: %d loops", trips, len(loops))
+		}
+		got, _, ok := countedTrip(k, loops[0])
+		if !ok {
+			t.Fatalf("trips=%d: not recognized as counted", trips)
+		}
+		if got != int(trips) {
+			t.Errorf("trips=%d: counted %d", trips, got)
+		}
+	}
+}
+
+func TestUnrollPreservesSemantics(t *testing.T) {
+	const trips = 5
+	const n = 64
+	ref := make([]uint32, n)
+	in := &kir.Interp{Kernel: countedLoopKernel(trips), Launch: kir.Launch1D(2, 32, 0), Global: ref}
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	k := countedLoopKernel(trips)
+	unrolled, err := UnrollLoops(k, 16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unrolled != 1 {
+		t.Fatalf("unrolled %d loops, want 1", unrolled)
+	}
+	if _, err := ScheduleBlocks(k); err != nil {
+		t.Fatal(err)
+	}
+	if k.HasLoops() {
+		t.Fatal("kernel still has loops after full unroll")
+	}
+	got := make([]uint32, n)
+	in2 := &kir.Interp{Kernel: k, Launch: kir.Launch1D(2, 32, 0), Global: got}
+	if err := in2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestUnrollMakesSGMFMappable(t *testing.T) {
+	k := countedLoopKernel(4)
+	if _, err := ScheduleBlocks(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IfConvert(k.Clone()); err == nil {
+		t.Fatal("loopy kernel should not if-convert")
+	}
+	if _, err := UnrollLoops(k, 16, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScheduleBlocks(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IfConvert(k); err != nil {
+		t.Fatalf("unrolled kernel should if-convert: %v", err)
+	}
+}
+
+func TestUnrollRespectsLimits(t *testing.T) {
+	k := countedLoopKernel(100)
+	un, err := UnrollLoops(k, 16, 512) // 100 trips > 16 cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un != 0 {
+		t.Error("should not unroll beyond maxTrips")
+	}
+
+	k = countedLoopKernel(8)
+	un, err = UnrollLoops(k, 16, 10) // 8 trips * ~7 instrs > 10 cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un != 0 {
+		t.Error("should not unroll beyond maxInstrs")
+	}
+}
+
+func TestUnrollSkipsDataDependentLoops(t *testing.T) {
+	// Bound is the thread ID — not a compile-time constant.
+	b := kir.NewBuilder("datadep")
+	b.SetParams(1)
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	tid := b.Tid()
+	i := b.Const(0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	i1 := b.AddI(i, 1)
+	b.MovTo(i, i1)
+	b.Branch(b.SetLT(i1, tid), loop, exit)
+	b.SetBlock(exit)
+	b.Store(b.Add(b.Param(0), tid), 0, i)
+	b.Ret()
+	k := b.MustBuild()
+
+	un, err := UnrollLoops(k, 16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un != 0 {
+		t.Error("data-dependent loop must not unroll")
+	}
+}
+
+func TestUnrollSkipsBarrierLoops(t *testing.T) {
+	b := kir.NewBuilder("barloop")
+	b.SetShared(4)
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+	b.MarkBarrier(loop)
+	b.SetBlock(entry)
+	i := b.Const(0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	tidx := b.TidX()
+	b.StoreSh(tidx, 0, i)
+	i1 := b.AddI(i, 1)
+	b.MovTo(i, i1)
+	b.Branch(b.SetLT(i1, b.Const(4)), loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	k := b.MustBuild()
+
+	un, err := UnrollLoops(k, 16, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un != 0 {
+		t.Error("barrier loop must not unroll")
+	}
+}

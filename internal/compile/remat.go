@@ -1,0 +1,117 @@
+package compile
+
+import "vgiw/internal/kir"
+
+// Rematerialize rewrites cross-block uses of cheaply recomputable values —
+// constants, launch parameters, and thread-geometry coordinates — into fresh
+// per-block definitions. On the VGIW machine these values are free in every
+// block anyway (constants and parameters live in configuration registers;
+// the initiator CVU delivers the thread coordinates, §3.5), so carrying them
+// through the live value cache would charge phantom LVC traffic and waste
+// LVU units. The paper's compiler performs the same rematerialization
+// implicitly by generating per-block configurations from SSA form.
+//
+// A register qualifies when it has exactly one definition kernel-wide and
+// that definition is a zero-input opcode. The pass runs before liveness, so
+// rematerialized registers simply stop being live across blocks.
+func Rematerialize(k *kir.Kernel) {
+	// Count definitions and remember the single defining instruction.
+	defCount := make(map[kir.Reg]int)
+	defInstr := make(map[kir.Reg]kir.Instr)
+	defBlock := make(map[kir.Reg]int)
+	for bi, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if !in.Op.HasDst() {
+				continue
+			}
+			defCount[in.Dst]++
+			defInstr[in.Dst] = in
+			defBlock[in.Dst] = bi
+		}
+	}
+	remat := func(r kir.Reg) (kir.Instr, bool) {
+		if defCount[r] != 1 {
+			return kir.Instr{}, false
+		}
+		in := defInstr[r]
+		if in.Op.NumSrc() != 0 {
+			return kir.Instr{}, false
+		}
+		switch {
+		case in.Op == kir.OpConst, in.Op == kir.OpParam, in.Op.IsGeometry():
+			return in, true
+		}
+		return kir.Instr{}, false
+	}
+
+	for bi, b := range k.Blocks {
+		// Find upward-exposed rematerializable uses.
+		defined := make(map[kir.Reg]bool)
+		needed := make(map[kir.Reg]kir.Instr)
+		noteUse := func(r kir.Reg) {
+			if defined[r] || defBlock[r] == bi && defCount[r] == 1 {
+				// Defined locally before use (conservatively: single def in
+				// this block counts as local regardless of position, since
+				// builders emit defs before uses).
+				return
+			}
+			if in, ok := remat(r); ok {
+				needed[r] = in
+			}
+		}
+		for _, in := range b.Instrs {
+			for i := 0; i < in.Op.NumSrc(); i++ {
+				noteUse(in.Src[i])
+			}
+			if in.Op.HasDst() {
+				defined[in.Dst] = true
+			}
+		}
+		if b.Term.Kind == kir.TermBranch {
+			noteUse(b.Term.Cond)
+		}
+		if len(needed) == 0 {
+			continue
+		}
+		// Prepend fresh definitions and rewrite the block's uses.
+		replace := make(map[kir.Reg]kir.Reg, len(needed))
+		prefix := make([]kir.Instr, 0, len(needed))
+		for r, in := range needed {
+			nr := kir.Reg(k.NumRegs)
+			k.NumRegs++
+			in.Dst = nr
+			prefix = append(prefix, in)
+			replace[r] = nr
+		}
+		// Deterministic order (map iteration is random).
+		sortInstrsByDst(prefix)
+		rewritten := make([]kir.Instr, 0, len(prefix)+len(b.Instrs))
+		rewritten = append(rewritten, prefix...)
+		local := make(map[kir.Reg]bool)
+		for _, in := range b.Instrs {
+			for i := 0; i < in.Op.NumSrc(); i++ {
+				if nr, ok := replace[in.Src[i]]; ok && !local[in.Src[i]] {
+					in.Src[i] = nr
+				}
+			}
+			rewritten = append(rewritten, in)
+			if in.Op.HasDst() {
+				local[in.Dst] = true
+			}
+		}
+		b.Instrs = rewritten
+		if b.Term.Kind == kir.TermBranch {
+			if nr, ok := replace[b.Term.Cond]; ok && !local[b.Term.Cond] {
+				b.Term.Cond = nr
+			}
+		}
+	}
+}
+
+func sortInstrsByDst(ins []kir.Instr) {
+	for i := 1; i < len(ins); i++ {
+		for j := i; j > 0 && ins[j].Dst < ins[j-1].Dst; j-- {
+			ins[j], ins[j-1] = ins[j-1], ins[j]
+		}
+	}
+}

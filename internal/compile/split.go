@@ -1,0 +1,152 @@
+package compile
+
+import (
+	"fmt"
+
+	"vgiw/internal/kir"
+)
+
+// CompileFitted compiles the kernel, splitting any basic block whose
+// dataflow graph does not satisfy the fits predicate (e.g., it needs more
+// units of some class than the fabric provides). Splitting a block turns
+// values that cross the new boundary into live-value traffic — the honest
+// cost of running big blocks on a finite fabric, which the paper's compiler
+// pays the same way when partitioning large kernels.
+//
+// The split point starts at the instruction midpoint and the pass iterates
+// until every block fits or no further split is possible.
+func CompileFitted(k *kir.Kernel, fits func(*BlockDFG) bool) (*CompiledKernel, error) {
+	const maxRounds = 256
+	for round := 0; ; round++ {
+		ck, err := Compile(k)
+		if err != nil {
+			return nil, err
+		}
+		oversized := -1
+		for bi, g := range ck.DFGs {
+			if !fits(g) {
+				oversized = bi
+				break
+			}
+		}
+		if oversized < 0 {
+			return ck, nil
+		}
+		if round >= maxRounds {
+			return nil, fmt.Errorf("compile: kernel %s still has oversized blocks after %d splits", k.Name, maxRounds)
+		}
+		if err := splitBlock(k, oversized); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// splitBlock divides block bi at its instruction midpoint: the first half
+// keeps the original label and jumps into a new continuation block holding
+// the second half and the original terminator.
+func splitBlock(k *kir.Kernel, bi int) error {
+	b := k.Blocks[bi]
+	n := len(b.Instrs)
+	if n < 2 {
+		return fmt.Errorf("compile: kernel %s block %d (%s) cannot be split further", k.Name, bi, b.Label)
+	}
+	m := n / 2
+	cont := &kir.Block{
+		Label:  b.Label + ".cont",
+		Instrs: b.Instrs[m:],
+		Term:   b.Term,
+	}
+	b.Instrs = b.Instrs[:m]
+
+	// Insert cont right after b and shift all terminator targets.
+	at := bi + 1
+	k.Blocks = append(k.Blocks, nil)
+	copy(k.Blocks[at+1:], k.Blocks[at:])
+	k.Blocks[at] = cont
+	for _, blk := range k.Blocks {
+		if blk == b {
+			continue // b's terminator is replaced below
+		}
+		t := &blk.Term
+		switch t.Kind {
+		case kir.TermJump:
+			if t.Then >= at {
+				t.Then++
+			}
+		case kir.TermBranch:
+			if t.Then >= at {
+				t.Then++
+			}
+			if t.Else >= at {
+				t.Else++
+			}
+		}
+	}
+	b.Term = kir.Terminator{Kind: kir.TermJump, Then: at}
+	return k.Validate()
+}
+
+// OptimizeSplits performs throughput-driven block splitting on top of
+// fabric fitting. A basic block streams one thread per cycle per replica, so
+// its per-thread cost is 1/R where R = replicasFor(graph); a block whose
+// bottleneck unit class leaves most of the fabric idle (e.g. 20 of 32 ALUs,
+// so R=1) can be cheaper as two half-blocks that each replicate more. The
+// pass greedily accepts any split that lowers the summed per-thread cost,
+// which automatically accounts for the live-value traffic a split adds (the
+// new LVU nodes lower the halves' replication).
+func OptimizeSplits(k *kir.Kernel, replicasFor func(*BlockDFG) int, maxReplicas int) (*CompiledKernel, error) {
+	fits := func(g *BlockDFG) bool { return replicasFor(g) > 0 }
+	ck, err := CompileFitted(k, fits)
+	if err != nil {
+		return nil, err
+	}
+	// Per-thread streaming cost 1/R plus the per-scheduling fixed cost a
+	// block pays regardless of vector size: reconfiguration plus pipeline
+	// drain (roughly proportional to the critical path), amortized over a
+	// nominal thread vector. Without the fixed term the pass would shred
+	// loop bodies into confetti and drown in reconfigurations.
+	const nominalVector = 1024.0
+	const configCost = 34.0
+	cost := func(c *CompiledKernel) float64 {
+		total := 0.0
+		for _, g := range c.DFGs {
+			r := replicasFor(g)
+			if r < 1 {
+				r = 1
+			}
+			drain := 3.0 * float64(g.CriticalPathLen())
+			total += 1/float64(r) + (configCost+drain)/nominalVector
+		}
+		return total
+	}
+	cur := cost(ck)
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for bi := 0; bi < len(ck.Kernel.Blocks); bi++ {
+			if len(ck.Kernel.Blocks[bi].Instrs) < 2 {
+				continue
+			}
+			if g := ck.DFGs[bi]; replicasFor(g) >= maxReplicas {
+				continue // already at the replication cap
+			}
+			trial := ck.Kernel.Clone()
+			if err := splitBlock(trial, bi); err != nil {
+				continue
+			}
+			ckTrial, err := CompileFitted(trial, fits)
+			if err != nil {
+				continue
+			}
+			if c := cost(ckTrial); c < cur-1e-9 {
+				ck, cur = ckTrial, c
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return ck, nil
+		}
+	}
+	return ck, nil
+}

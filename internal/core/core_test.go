@@ -1,0 +1,535 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/kir"
+)
+
+// buildDiamond is the Figure 1a kernel: three-way divergent paths that
+// reconverge, with per-path stores.
+func buildDiamond() *kir.Kernel {
+	b := kir.NewBuilder("fig1a")
+	b.SetParams(2)
+	bb1 := b.NewBlock("bb1")
+	bb2 := b.NewBlock("bb2")
+	bb3 := b.NewBlock("bb3")
+	bb4 := b.NewBlock("bb4")
+	bb5 := b.NewBlock("bb5")
+	bb6 := b.NewBlock("bb6")
+	b.SetBlock(bb1)
+	tid := b.Tid()
+	v := b.Load(b.Add(b.Param(0), tid), 0)
+	b.Branch(b.SetLT(v, b.Const(10)), bb2, bb3)
+	b.SetBlock(bb2)
+	r := b.Mov(b.MulI(v, 2))
+	b.Jump(bb6)
+	b.SetBlock(bb3)
+	b.Branch(b.SetLT(v, b.Const(100)), bb4, bb5)
+	b.SetBlock(bb4)
+	b.MovTo(r, b.AddI(v, 7))
+	b.Jump(bb6)
+	b.SetBlock(bb5)
+	b.MovTo(r, b.Sub(v, tid))
+	b.Jump(bb6)
+	b.SetBlock(bb6)
+	b.Store(b.Add(b.Param(1), tid), 0, r)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// buildLoopSum sums 0..tid via a data-dependent loop.
+func buildLoopSum() *kir.Kernel {
+	b := kir.NewBuilder("loopsum")
+	b.SetParams(1)
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	tid := b.Tid()
+	i := b.Const(0)
+	sum := b.Const(0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	sum1 := b.Add(sum, i)
+	i1 := b.AddI(i, 1)
+	b.MovTo(sum, sum1)
+	b.MovTo(i, i1)
+	b.Branch(b.SetLE(i1, tid), loop, exit)
+	b.SetBlock(exit)
+	b.Store(b.Add(b.Param(0), tid), 0, sum)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// runVGIW compiles and runs a kernel on a default machine.
+func runVGIW(t testing.TB, build func() *kir.Kernel, launch kir.Launch, global []uint32, cfg Config) (*Result, []uint32) {
+	t.Helper()
+	ck, err := compile.Compile(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(ck, launch, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, global
+}
+
+// reference runs the golden interpreter.
+func reference(t testing.TB, build func() *kir.Kernel, launch kir.Launch, global []uint32) []uint32 {
+	t.Helper()
+	in := &kir.Interp{Kernel: build(), Launch: launch, Global: global}
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return global
+}
+
+func diamondInput(n int) []uint32 {
+	m := make([]uint32, 2*n)
+	for i := 0; i < n; i++ {
+		m[i] = uint32(i * 7 % 250)
+	}
+	return m
+}
+
+func TestVGIWDiamondMatchesReference(t *testing.T) {
+	const n = 256
+	launch := kir.Launch1D(n/32, 32, 0, n)
+	ref := reference(t, buildDiamond, launch, diamondInput(n))
+	res, got := runVGIW(t, buildDiamond, launch, diamondInput(n), DefaultConfig())
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mem[%d]: vgiw %d, ref %d", i, got[i], ref[i])
+		}
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	// Control flow coalescing: each of the 6 blocks is scheduled exactly
+	// once (single tile), regardless of the 3 distinct control paths.
+	if res.Reconfigs != 6 {
+		t.Errorf("reconfigs = %d, want 6 (one per block)", res.Reconfigs)
+	}
+	if len(res.BlockRuns) != 6 {
+		t.Errorf("block runs = %d, want 6", len(res.BlockRuns))
+	}
+	// Divergent blocks ran only their own threads.
+	threadsPerBlock := map[int]int{}
+	for _, br := range res.BlockRuns {
+		threadsPerBlock[br.Block] += br.Threads
+	}
+	if threadsPerBlock[0] != n {
+		t.Errorf("entry ran %d threads, want %d", threadsPerBlock[0], n)
+	}
+	sumMid := threadsPerBlock[1] + threadsPerBlock[2]
+	if sumMid != n && threadsPerBlock[1] >= n {
+		t.Errorf("divergent blocks not coalesced: %v", threadsPerBlock)
+	}
+	if threadsPerBlock[5] != n {
+		t.Errorf("merge block ran %d threads, want %d", threadsPerBlock[5], n)
+	}
+	// Live values flowed through the LVC.
+	if res.LVCLoads == 0 || res.LVCStores == 0 {
+		t.Errorf("LVC traffic: loads=%d stores=%d, want > 0", res.LVCLoads, res.LVCStores)
+	}
+	if res.CVTWrites == 0 || res.CVTReads == 0 {
+		t.Errorf("CVT traffic: reads=%d writes=%d, want > 0", res.CVTReads, res.CVTWrites)
+	}
+}
+
+func TestVGIWLoopMatchesReference(t *testing.T) {
+	const n = 128
+	launch := kir.Launch1D(n/32, 32, 0)
+	ref := reference(t, buildLoopSum, launch, make([]uint32, n))
+	_, got := runVGIW(t, buildLoopSum, launch, make([]uint32, n), DefaultConfig())
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mem[%d]: vgiw %d, ref %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestVGIWLoopSchedulesBackEdge(t *testing.T) {
+	const n = 64
+	launch := kir.Launch1D(2, 32, 0)
+	res, _ := runVGIW(t, buildLoopSum, launch, make([]uint32, n), DefaultConfig())
+	// The loop block re-executes: more block runs than blocks, and the
+	// loop body (block 1) appears multiple times with shrinking vectors.
+	loopRuns := 0
+	prev := 1 << 30
+	shrinks := true
+	for _, br := range res.BlockRuns {
+		if br.Block == 1 {
+			loopRuns++
+			if br.Threads > prev {
+				shrinks = false
+			}
+			prev = br.Threads
+		}
+	}
+	if loopRuns < 10 {
+		t.Errorf("loop ran %d times, want >= 10 (tid up to 63)", loopRuns)
+	}
+	if !shrinks {
+		t.Error("loop thread vectors should shrink monotonically as threads exit")
+	}
+}
+
+func TestVGIWBarrierSharedMemory(t *testing.T) {
+	build := func() *kir.Kernel {
+		b := kir.NewBuilder("reverse")
+		b.SetParams(1)
+		b.SetShared(32)
+		entry := b.NewBlock("entry")
+		after := b.NewBlock("after")
+		b.SetBlock(entry)
+		tidx := b.TidX()
+		b.StoreSh(tidx, 0, b.Tid())
+		b.Jump(after)
+		b.MarkBarrier(after)
+		b.SetBlock(after)
+		rev := b.Sub(b.Const(31), b.TidX())
+		v := b.LoadSh(rev, 0)
+		b.Store(b.Add(b.Param(0), b.Tid()), 0, v)
+		b.Ret()
+		return b.MustBuild()
+	}
+	const n = 128
+	launch := kir.Launch1D(n/32, 32, 0)
+	ref := reference(t, build, launch, make([]uint32, n))
+	_, got := runVGIW(t, build, launch, make([]uint32, n), DefaultConfig())
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mem[%d]: vgiw %d, ref %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestVGIWTiling(t *testing.T) {
+	// Force tiny tiles: CVT budget of 6 blocks * 32 threads.
+	cfg := DefaultConfig()
+	cfg.CVTCapacityBits = 6 * 32
+	const n = 256
+	launch := kir.Launch1D(n/32, 32, 0, n)
+	ref := reference(t, buildDiamond, launch, diamondInput(n))
+	res, got := runVGIW(t, buildDiamond, launch, diamondInput(n), cfg)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mem[%d]: vgiw %d, ref %d", i, got[i], ref[i])
+		}
+	}
+	if res.TileSize != 32 {
+		t.Errorf("tile size = %d, want 32", res.TileSize)
+	}
+	if res.Tiles != n/32 {
+		t.Errorf("tiles = %d, want %d", res.Tiles, n/32)
+	}
+	if res.Reconfigs < uint64(res.Tiles) {
+		t.Errorf("reconfigs = %d < tiles = %d", res.Reconfigs, res.Tiles)
+	}
+}
+
+func TestVGIWReplicationAblation(t *testing.T) {
+	const n = 2048
+	launch := kir.Launch1D(n/32, 32, 0, n)
+	on, _ := runVGIW(t, buildDiamond, launch, diamondInput(n), DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ReplicationOff = true
+	off, _ := runVGIW(t, buildDiamond, launch, diamondInput(n), cfg)
+	if on.Cycles >= off.Cycles {
+		t.Errorf("replication should speed up: on=%d off=%d cycles", on.Cycles, off.Cycles)
+	}
+	for b, r := range on.ReplicasOf {
+		if r < 1 {
+			t.Errorf("block %d has %d replicas", b, r)
+		}
+	}
+	for _, r := range off.ReplicasOf {
+		if r != 1 {
+			t.Errorf("ablation used %d replicas", r)
+		}
+	}
+}
+
+func TestVGIWConfigOverheadSmall(t *testing.T) {
+	// With large thread vectors, reconfiguration is negligible (§3.2:
+	// average 0.18% of runtime).
+	const n = 16384
+	launch := kir.Launch1D(n/64, 64, 0, n)
+	res, _ := runVGIW(t, buildDiamond, launch, diamondInput(n), DefaultConfig())
+	// The diamond kernel does ~1 cycle of work per thread per block, which
+	// is the worst case for amortizing the 34-cycle reconfiguration; the
+	// Rodinia-class kernels in internal/kernels land well under 1%.
+	if oh := res.ConfigOverhead(); oh > 0.05 {
+		t.Errorf("config overhead %.4f too large for %d threads", oh, n)
+	}
+}
+
+func TestCVTReadResetAndBatches(t *testing.T) {
+	c := NewCVT(3, 130, 8)
+	c.Register(1, 0)
+	c.Register(1, 64)
+	c.Register(1, 129)
+	c.Register(2, 5)
+	if got := c.NextBlock(); got != 1 {
+		t.Fatalf("NextBlock = %d, want 1", got)
+	}
+	ids := c.Drain(1)
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 64 || ids[2] != 129 {
+		t.Fatalf("Drain = %v", ids)
+	}
+	if c.Pending(1) {
+		t.Error("block 1 still pending after read-and-reset")
+	}
+	if got := c.NextBlock(); got != 2 {
+		t.Fatalf("NextBlock = %d, want 2", got)
+	}
+	if c.Reads != 3 {
+		t.Errorf("reads = %d, want 3 (three words touched)", c.Reads)
+	}
+	if c.Writes != 4 {
+		t.Errorf("writes = %d, want 4", c.Writes)
+	}
+	c.RegisterBatch(0, 1, 0xFF)
+	ids = c.Drain(0)
+	if len(ids) != 8 || ids[0] != 64 {
+		t.Fatalf("batch drain = %v", ids)
+	}
+}
+
+func TestCVTSetAll(t *testing.T) {
+	c := NewCVT(2, 100, 8)
+	c.SetAll(0, 100)
+	ids := c.Drain(0)
+	if len(ids) != 100 {
+		t.Fatalf("drained %d ids, want 100", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestLVCRoundTripAndTiming(t *testing.T) {
+	cfgSys := DefaultConfig()
+	sys := newTestSystem(cfgSys)
+	l := NewLVC(DefaultLVCConfig(), sys, 4, 256)
+	_, d1 := l.Access(2, 10, true, 42, 0)
+	v, d2 := l.Access(2, 10, false, 0, d1)
+	if v != 42 {
+		t.Fatalf("read back %d, want 42", v)
+	}
+	if d2 <= d1 {
+		t.Error("read completion should advance time")
+	}
+	if l.Loads != 1 || l.Stores != 1 {
+		t.Errorf("loads=%d stores=%d", l.Loads, l.Stores)
+	}
+	// Cold write missed; warm read hit the same line.
+	st := l.Stats()
+	if st.Misses() == 0 {
+		t.Error("first access should miss")
+	}
+	l.Reset()
+	v, _ = l.Access(2, 10, false, 0, d2)
+	if v != 0 {
+		t.Errorf("after reset read %d, want 0", v)
+	}
+}
+
+// TestVGIWElidesEmptyBlocks: threads registered to an instruction-less ret
+// block retire in the BBS without a fabric pass, and an empty jump block
+// forwards without one.
+func TestVGIWElidesEmptyBlocks(t *testing.T) {
+	build := func() *kir.Kernel {
+		b := kir.NewBuilder("elide")
+		b.SetParams(1)
+		entry := b.NewBlock("entry")
+		hop := b.NewBlock("hop") // empty jump block
+		body := b.NewBlock("body")
+		exit := b.NewBlock("exit") // empty ret block
+		b.SetBlock(entry)
+		b.Branch(b.SetLT(b.Tid(), b.Const(64)), hop, exit)
+		b.SetBlock(hop)
+		b.Jump(body)
+		b.SetBlock(body)
+		b.Store(b.Add(b.Param(0), b.Tid()), 0, b.Tid())
+		b.Jump(exit)
+		b.SetBlock(exit)
+		b.Ret()
+		return b.MustBuild()
+	}
+	const n = 128
+	launch := kir.Launch1D(n/32, 32, 0)
+	ref := reference(t, build, launch, make([]uint32, n))
+	res, got := runVGIW(t, build, launch, make([]uint32, n), DefaultConfig())
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mem[%d]: vgiw %d, ref %d", i, got[i], ref[i])
+		}
+	}
+	// Only entry and body should be scheduled on the fabric.
+	for _, br := range res.BlockRuns {
+		if br.Threads == 0 {
+			t.Errorf("scheduled an empty vector for block %d", br.Block)
+		}
+	}
+	if len(res.BlockRuns) != 2 {
+		t.Errorf("scheduled %d fabric passes, want 2 (hop and exit elided)", len(res.BlockRuns))
+	}
+}
+
+// TestVGIWTileRespectsLVCapacity: a kernel with many live values must tile
+// so that the live-value matrix fits the LVC.
+func TestVGIWTileRespectsLVCapacity(t *testing.T) {
+	build := func() *kir.Kernel {
+		b := kir.NewBuilder("manylv")
+		b.SetParams(1)
+		entry := b.NewBlock("entry")
+		body := b.NewBlock("body")
+		b.SetBlock(entry)
+		base := b.Add(b.Param(0), b.MulI(b.Tid(), 8))
+		// Eight loaded values crossing into the next block.
+		var vals []kir.Reg
+		for i := int32(0); i < 8; i++ {
+			vals = append(vals, b.Load(base, i))
+		}
+		b.Branch(b.SetLT(b.Tid(), b.Const(1<<30)), body, body)
+		b.SetBlock(body)
+		acc := vals[0]
+		for _, v := range vals[1:] {
+			acc = b.Add(acc, v)
+		}
+		b.Store(b.Add(b.Param(0), b.MulI(b.Tid(), 8)), 0, acc)
+		b.Ret()
+		return b.MustBuild()
+	}
+	const n = 8192
+	launch := kir.Launch1D(n/64, 64, 0)
+	cfg := DefaultConfig()
+	cfg.LVC.SizeBytes = 16 << 10 // 16KB: 8 LVs * 4B => tile <= 512
+	res, _ := runVGIW(t, build, launch, make([]uint32, 8*n), cfg)
+	if res.TileSize > 512 {
+		t.Errorf("tile %d exceeds the LVC capacity bound 512", res.TileSize)
+	}
+	if res.Tiles < n/512 {
+		t.Errorf("tiles = %d, want >= %d", res.Tiles, n/512)
+	}
+}
+
+// Property: Register/Drain is lossless and sorted for arbitrary thread sets.
+func TestCVTQuickProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := NewCVT(2, 1<<16, 8)
+		want := map[int]bool{}
+		for _, r := range raw {
+			c.Register(1, int(r))
+			want[int(r)] = true
+		}
+		got := c.Drain(1)
+		if len(got) != len(want) {
+			return false
+		}
+		prev := -1
+		for _, id := range got {
+			if id <= prev || !want[id] {
+				return false
+			}
+			prev = id
+		}
+		return !c.Pending(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLVCSpillsToMemory: a matrix bigger than the cache forces evictions
+// and spills through the L2 (§3.4).
+func TestLVCSpillsToMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LVC.SizeBytes = 4 << 10 // 4KB cache over a 64KB matrix
+	sys := newTestSystem(cfg)
+	l := NewLVC(cfg.LVC, sys, 16, 1024)
+	now := int64(0)
+	for lv := 0; lv < 16; lv++ {
+		for tid := 0; tid < 1024; tid += 32 {
+			_, now = l.Access(lv, tid, true, uint32(lv*tid), now)
+		}
+	}
+	// Re-read everything: values survive eviction (the matrix is the
+	// functional store; the cache only affects timing).
+	for lv := 0; lv < 16; lv++ {
+		for tid := 0; tid < 1024; tid += 32 {
+			v, done := l.Access(lv, tid, false, 0, now)
+			if v != uint32(lv*tid) {
+				t.Fatalf("lv %d tid %d = %d, want %d", lv, tid, v, lv*tid)
+			}
+			now = done
+		}
+	}
+	if l.Stats().Writebacks == 0 {
+		t.Error("undersized LVC produced no spills")
+	}
+	if sys.Stats().L2.Accesses() == 0 {
+		t.Error("spills did not reach the L2")
+	}
+}
+
+// TestVGIWErrorPaths: invalid launches and parameter mismatches surface as
+// errors, not panics.
+func TestVGIWErrorPaths(t *testing.T) {
+	m, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := buildDiamond()
+	ck, err := compile.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(ck, kir.Launch1D(1, 32), make([]uint32, 64)); err == nil {
+		t.Error("want error for missing params")
+	}
+	if _, err := m.Run(ck, kir.Launch{GridX: 0, GridY: 1, BlockX: 32, BlockY: 1,
+		Params: []uint32{0, 32}}, make([]uint32, 64)); err == nil {
+		t.Error("want error for zero grid")
+	}
+	// Out-of-bounds memory.
+	if _, err := m.Run(ck, kir.Launch1D(2, 32, 1<<20, 1<<20), make([]uint32, 8)); err == nil {
+		t.Error("want out-of-bounds error")
+	}
+}
+
+// TestVGIWTinyFabric: a kernel that cannot fit even after splitting (every
+// block needs an initiator and a terminator CVU, and this fabric has none)
+// is reported as a compile error, not a panic or a hang.
+func TestVGIWTinyFabric(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fabric.Cols, cfg.Fabric.Rows = 4, 4
+	cfg.Fabric.NumALU, cfg.Fabric.NumSCU = 6, 1
+	cfg.Fabric.NumLDST, cfg.Fabric.NumLVU = 2, 2
+	cfg.Fabric.NumSJU, cfg.Fabric.NumCVU = 5, 0
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := kir.NewBuilder("one")
+	b.SetParams(1)
+	blk := b.NewBlock("entry")
+	b.SetBlock(blk)
+	b.Store(b.Param(0), 0, b.Tid())
+	b.Ret()
+	if _, err := m.Compile(b.MustBuild()); err == nil {
+		t.Error("want error: no CVUs means no initiators/terminators")
+	}
+}

@@ -1,0 +1,6 @@
+package core
+
+import "vgiw/internal/mem"
+
+// newTestSystem builds a memory system from a machine config (test helper).
+func newTestSystem(cfg Config) *mem.System { return mem.NewSystem(cfg.Mem) }

@@ -1,0 +1,435 @@
+// Package engine executes a placed dataflow graph for a vector of threads,
+// producing both functional results and cycle-level timing. It models the
+// MT-CGRF execution semantics of §3.5:
+//
+//   - one thread injected per initiator CVU per cycle (each basic-block
+//     replica has its own initiator), bounded by the token-buffer depth
+//     (virtual execution channels) of the units;
+//   - pipelined functional units accept one token set per cycle;
+//   - special compute units (SCUs) virtual-pipeline non-pipelined operations
+//     across a pool of circuit instances;
+//   - load/store units expose reservation buffers that bound outstanding
+//     memory operations and let unblocked threads overtake stalled ones
+//     (dynamic, tagged-token dataflow);
+//   - tokens travel the interconnect with per-edge hop latencies from the
+//     placement.
+//
+// The engine is shared by the VGIW core (per-block graphs) and the SGMF
+// baseline (one whole-kernel graph).
+package engine
+
+import (
+	"fmt"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/fabric"
+	"vgiw/internal/kir"
+	"vgiw/internal/mem"
+)
+
+// Space distinguishes memory address spaces.
+type Space uint8
+
+const (
+	SpaceGlobal Space = iota
+	SpaceShared
+)
+
+// Hooks supplies the environment a graph executes in: memory, live values,
+// launch geometry, and branch-outcome reporting. The engine itself owns no
+// state between calls.
+type Hooks struct {
+	// Param returns scalar launch parameter i.
+	Param func(i int) uint32
+	// Geometry resolves a geometry opcode for a thread.
+	Geometry func(op kir.Op, tid int) uint32
+	// AccessMem performs a data-memory access: functional effect plus
+	// timing. For loads value is ignored and the loaded word returned;
+	// for stores the returned word is ignored. done is the completion
+	// cycle given issue at now.
+	AccessMem func(space Space, addr int64, write bool, value uint32, tid int, now int64) (word uint32, done int64, err error)
+	// AccessLV reads or writes live value lv for a thread through the LVC.
+	// Unused by SGMF graphs (which have no LV nodes).
+	AccessLV func(lv int, tid int, write bool, value uint32, now int64) (word uint32, done int64)
+	// Branch reports a thread's terminator outcome so the caller can update
+	// the control vector table. taken is meaningful only for TermBranch.
+	Branch func(tid int, cond uint32)
+}
+
+// Options tune engine behaviour (used by ablation studies).
+type Options struct {
+	// InOrderThreads disables out-of-order thread overtaking: every node
+	// processes threads in injection order (ablation for the reservation
+	// buffers' dynamic dataflow).
+	InOrderThreads bool
+	// Profile records per-node latency statistics into Stats.NodeLatency.
+	Profile bool
+}
+
+// Stats aggregates the events of one vector execution.
+type Stats struct {
+	Injected   int
+	StartCycle int64
+	EndCycle   int64
+
+	// Executed node counts by unit class (per thread executions).
+	Ops map[kir.UnitClass]uint64
+	// FPOps counts floating-point ALU-class node executions (the energy
+	// model prices FP lanes above integer lanes).
+	FPOps uint64
+	// TokenHops is the total distance traveled by data/control tokens.
+	TokenHops uint64
+	// TokenTransfers counts individual token deliveries.
+	TokenTransfers uint64
+	// LVLoads/LVStores count live-value cache accesses.
+	LVLoads, LVStores uint64
+	// GlobalAccesses/SharedAccesses count memory operations issued
+	// (predicated-off SGMF accesses are excluded).
+	GlobalAccesses, SharedAccesses uint64
+	// SkippedMemOps counts predicated-off memory operations (SGMF).
+	SkippedMemOps uint64
+	// NodeEndMax records, per node ID, the max completion minus injection
+	// (per-thread latency contribution) — populated only when Profile is
+	// set in Options.
+	NodeLatency []int64
+	// NodeService records, per node ID, the max completion minus operand
+	// readiness (queueing + service time at the unit). Profile only.
+	NodeService []int64
+	// UnitIssues counts executions per physical unit ID. Profile only.
+	UnitIssues []uint64
+}
+
+// Cycles is the wall-clock cycle count of the vector execution.
+func (s *Stats) Cycles() int64 { return s.EndCycle - s.StartCycle }
+
+// OpLatency is the per-opcode execution latency table shared by all
+// simulators (the SIMT baseline uses it too, so the comparison is apples to
+// apples).
+func OpLatency(op kir.Op) int64 {
+	switch op {
+	case kir.OpMul:
+		return 3
+	case kir.OpFAdd, kir.OpFSub, kir.OpFMul, kir.OpFMin, kir.OpFMax, kir.OpFFloor,
+		kir.OpFNeg, kir.OpFAbs:
+		return 4
+	case kir.OpFSetEQ, kir.OpFSetNE, kir.OpFSetLT, kir.OpFSetLE:
+		return 4
+	case kir.OpI2F, kir.OpF2I:
+		return 2
+	case kir.OpDiv, kir.OpRem, kir.OpFDiv, kir.OpFSqrt:
+		return 16
+	case kir.OpFExp, kir.OpFLog:
+		return 20
+	default:
+		return 1
+	}
+}
+
+// Engine executes placed graphs. Reusable across calls; not safe for
+// concurrent use.
+type Engine struct {
+	grid *fabric.Grid
+	opt  Options
+
+	// per-run scratch, sized to the current graph
+	vals     []uint32
+	done     []int64
+	units    []mem.SlotAlloc          // per-unit issue slots (1 initiation/cycle)
+	scuPool  map[int]*mem.Outstanding // per-SCU non-pipelined instance pools
+	resBuf   map[int]*mem.Outstanding // per-LDST reservation buffers
+	lastDone [][]int64                // [replica][node] completion of previous thread
+}
+
+// New creates an engine bound to a grid.
+func New(grid *fabric.Grid, opt Options) *Engine {
+	return &Engine{grid: grid, opt: opt}
+}
+
+// RunVector streams the given threads through the placement, starting at
+// startCycle (reconfiguration cost is the caller's concern). It returns the
+// execution statistics; the graph's side effects happen through the hooks.
+func (e *Engine) RunVector(p *fabric.Placement, threads []int, startCycle int64, h *Hooks) (*Stats, error) {
+	g := p.Graph
+	nNodes := len(g.Nodes)
+	cfg := e.grid.Config()
+
+	st := &Stats{
+		Injected:   len(threads),
+		StartCycle: startCycle,
+		EndCycle:   startCycle,
+		Ops:        make(map[kir.UnitClass]uint64),
+	}
+	if len(threads) == 0 {
+		return st, nil
+	}
+
+	// Reset per-run unit state (the grid is reset between blocks, §3.2).
+	e.vals = resize(e.vals, nNodes)
+	e.done = resizeI64(e.done, nNodes)
+	if cap(e.units) < e.grid.NumUnits() {
+		e.units = make([]mem.SlotAlloc, e.grid.NumUnits())
+	}
+	e.units = e.units[:e.grid.NumUnits()]
+	for i := range e.units {
+		e.units[i].Reset()
+	}
+	e.scuPool = make(map[int]*mem.Outstanding)
+	e.resBuf = make(map[int]*mem.Outstanding)
+	e.lastDone = make([][]int64, p.Replicas)
+	for r := range e.lastDone {
+		e.lastDone[r] = make([]int64, nNodes)
+	}
+
+	// Per-replica injection bookkeeping: the initiator CVU injects one
+	// thread per cycle, and a thread needs a free virtual channel (token
+	// buffer entry). Channels free as their threads complete — in any
+	// order, so threads stalled on memory do not hold others back.
+	injNext := make([]int64, p.Replicas)
+	for r := range injNext {
+		injNext[r] = startCycle
+	}
+	vcs := make([]*mem.Outstanding, p.Replicas)
+	for r := range vcs {
+		vcs[r] = mem.NewOutstanding(cfg.TokenBufDepth)
+	}
+
+	for j, tid := range threads {
+		r := j % p.Replicas
+		inject := vcs[r].Admit(injNext[r])
+		if inject < injNext[r] {
+			inject = injNext[r]
+		}
+		injNext[r] = inject + 1
+
+		end, err := e.runThread(p, r, tid, inject, h, st)
+		if err != nil {
+			return nil, err
+		}
+		vcs[r].Record(end)
+		if end > st.EndCycle {
+			st.EndCycle = end
+		}
+	}
+	return st, nil
+}
+
+// runThread executes every node of the graph for one thread and returns the
+// thread's completion cycle.
+func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hooks, st *Stats) (int64, error) {
+	g := p.Graph
+	unitOf := p.UnitOf[r]
+	threadEnd := inject
+
+	for _, n := range g.Nodes {
+		unit := unitOf[n.ID]
+
+		// Dataflow firing rule: all operands (and control tokens) present.
+		ready := inject
+		for i, in := range n.In {
+			if t := e.done[in] + p.EdgeLat[r][n.ID][i]; t > ready {
+				ready = t
+			}
+		}
+		for i, in := range n.CtlIn {
+			if t := e.done[in] + p.CtlLat[r][n.ID][i]; t > ready {
+				ready = t
+			}
+		}
+		st.TokenHops += sumHops(p.EdgeLat[r][n.ID]) + sumHops(p.CtlLat[r][n.ID])
+		st.TokenTransfers += uint64(len(n.In) + len(n.CtlIn))
+
+		if e.opt.InOrderThreads {
+			if t := e.lastDone[r][n.ID]; t > ready {
+				ready = t
+			}
+		}
+
+		var done int64
+		var val uint32
+		var err error
+		switch n.Kind {
+		case compile.NodeInit:
+			done, val = inject, uint32(tid)
+
+		case compile.NodeTerm:
+			start := e.issuePipelined(unit, ready)
+			done = start + 1
+			cond := e.vals[n.In[0]]
+			if h.Branch != nil {
+				h.Branch(tid, cond)
+			}
+
+		case compile.NodeSplit:
+			start := e.issuePipelined(unit, ready)
+			done, val = start+1, e.vals[n.In[0]]
+
+		case compile.NodeJoin:
+			start := e.issuePipelined(unit, ready)
+			done = start + 1
+
+		case compile.NodeLVLoad:
+			start := e.issuePipelined(unit, ready)
+			val, done = h.AccessLV(n.LV, tid, false, 0, start)
+			st.LVLoads++
+
+		case compile.NodeLVStore:
+			start := e.issuePipelined(unit, ready)
+			_, done = h.AccessLV(n.LV, tid, true, e.vals[n.In[0]], start)
+			st.LVStores++
+
+		case compile.NodeOp:
+			val, done, err = e.execOp(n, unit, tid, ready, h, st)
+			if err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("engine: unknown node kind %v", n.Kind)
+		}
+
+		st.Ops[n.Class()]++
+		if n.Kind == compile.NodeOp && n.Instr.Op.IsFloat() && n.Class() == kir.ClassALU {
+			st.FPOps++
+		}
+		if e.opt.Profile {
+			if len(st.NodeLatency) < len(g.Nodes) {
+				st.NodeLatency = make([]int64, len(g.Nodes))
+				st.NodeService = make([]int64, len(g.Nodes))
+			}
+			if len(st.UnitIssues) < e.grid.NumUnits() {
+				st.UnitIssues = make([]uint64, e.grid.NumUnits())
+			}
+			st.UnitIssues[unit]++
+			if d := done - inject; d > st.NodeLatency[n.ID] {
+				st.NodeLatency[n.ID] = d
+			}
+			if d := done - ready; d > st.NodeService[n.ID] {
+				st.NodeService[n.ID] = d
+			}
+		}
+		e.vals[n.ID] = val
+		e.done[n.ID] = done
+		e.lastDone[r][n.ID] = done
+		if done > threadEnd {
+			threadEnd = done
+		}
+	}
+	return threadEnd, nil
+}
+
+// execOp executes a kernel-instruction node.
+func (e *Engine) execOp(n *compile.Node, unit, tid int, ready int64, h *Hooks, st *Stats) (uint32, int64, error) {
+	op := n.Instr.Op
+	switch {
+	case op.IsGeometry():
+		start := e.issuePipelined(unit, ready)
+		return h.Geometry(op, tid), start + OpLatency(op), nil
+
+	case op == kir.OpParam:
+		start := e.issuePipelined(unit, ready)
+		return h.Param(int(n.Instr.Imm)), start + 1, nil
+
+	case op.IsMemory():
+		// Predicated-off SGMF memory ops skip the access entirely.
+		if n.HasPred && e.vals[n.In[n.Pred]] == 0 {
+			start := e.issuePipelined(unit, ready)
+			st.SkippedMemOps++
+			return 0, start + 1, nil
+		}
+		addr := int64(int32(e.vals[n.In[0]]) + n.Instr.Imm)
+		var value uint32
+		if op.IsStore() {
+			value = e.vals[n.In[1]]
+		}
+		space := SpaceGlobal
+		if op.IsShared() {
+			space = SpaceShared
+			st.SharedAccesses++
+		} else {
+			st.GlobalAccesses++
+		}
+		start := e.issueLDST(unit, ready)
+		word, done, err := h.AccessMem(space, addr, op.IsStore(), value, tid, start)
+		if err != nil {
+			return 0, 0, err
+		}
+		e.noteLDSTCompletion(unit, done)
+		return word, done, nil
+
+	case op.Class() == kir.ClassSCU:
+		start := e.issueSCU(unit, ready, OpLatency(op))
+		val := kir.Eval(op, e.operand(n, 0), e.operand(n, 1), e.operand(n, 2), n.Instr.Imm)
+		return val, start + OpLatency(op), nil
+
+	default: // pipelined ALU/FPU
+		start := e.issuePipelined(unit, ready)
+		val := kir.Eval(op, e.operand(n, 0), e.operand(n, 1), e.operand(n, 2), n.Instr.Imm)
+		return val, start + OpLatency(op), nil
+	}
+}
+
+func (e *Engine) operand(n *compile.Node, i int) uint32 {
+	if i < n.Instr.Op.NumSrc() && i < len(n.In) {
+		return e.vals[n.In[i]]
+	}
+	return 0
+}
+
+// issuePipelined models a fully pipelined unit: one initiation per cycle,
+// with out-of-order claiming so a late token does not delay earlier-ready
+// ones (tagged-token dynamic dataflow).
+func (e *Engine) issuePipelined(unit int, ready int64) int64 {
+	return e.units[unit].Alloc(ready)
+}
+
+// issueSCU models virtual pipelining: the SCU holds several instances of the
+// non-pipelined circuit; an operation occupies one instance for its full
+// latency, but a new operation can start whenever an instance and the issue
+// port are free.
+func (e *Engine) issueSCU(unit int, ready, lat int64) int64 {
+	pool := e.scuPool[unit]
+	if pool == nil {
+		pool = mem.NewOutstanding(e.grid.Config().SCUInstances)
+		e.scuPool[unit] = pool
+	}
+	start := e.issuePipelined(unit, pool.Admit(ready))
+	pool.Record(start + lat)
+	return start
+}
+
+// issueLDST models the reservation buffer: at most ReservationSlots memory
+// operations outstanding per LDST unit. A slot frees when its own operation
+// completes, so hits drain around a stalled miss.
+func (e *Engine) issueLDST(unit int, ready int64) int64 {
+	buf := e.resBuf[unit]
+	if buf == nil {
+		buf = mem.NewOutstanding(e.grid.Config().ReservationSlots)
+		e.resBuf[unit] = buf
+	}
+	return e.issuePipelined(unit, buf.Admit(ready))
+}
+
+func (e *Engine) noteLDSTCompletion(unit int, done int64) {
+	e.resBuf[unit].Record(done)
+}
+
+func resize(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func sumHops(lats []int64) uint64 {
+	var s uint64
+	for _, l := range lats {
+		s += uint64(l)
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package fabric
+
+import (
+	"fmt"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/kir"
+)
+
+// Placement maps every node of every replica of a dataflow graph to a
+// physical unit, with per-edge token latencies derived from the interconnect
+// topology.
+type Placement struct {
+	Graph    *compile.BlockDFG
+	Replicas int
+	// UnitOf[r][n] is the unit hosting node n of replica r.
+	UnitOf [][]int
+	// EdgeLat[r][n][i] is the token latency from In[i]'s producer to node n
+	// in replica r (parallel to Graph.Nodes[n].In).
+	EdgeLat [][][]int64
+	// CtlLat[r][n][i] mirrors EdgeLat for control edges (CtlIn).
+	CtlLat [][][]int64
+	// AvgHops is the mean data-edge latency, a routing quality metric.
+	AvgHops float64
+}
+
+// MaxReplicasFor computes how many replicas of the graph fit the grid:
+// the minimum over unit classes of available/needed, capped by the
+// configured maximum. Zero means the graph does not fit at all.
+func MaxReplicasFor(g *Grid, graph *compile.BlockDFG) int {
+	counts := graph.ClassCounts()
+	r := g.cfg.MaxReplicas
+	for cl, need := range counts {
+		if need == 0 {
+			continue
+		}
+		avail := len(g.byClass[cl])
+		if avail/need < r {
+			r = avail / need
+		}
+	}
+	return r
+}
+
+// Place maps `replicas` copies of the graph onto the grid. Nodes are placed
+// in topological order; each node takes the free unit of its class that
+// minimizes the summed distance to its already-placed producers (and, for
+// the initiator, a spread across the grid). Place fails if the replicas
+// exceed capacity.
+func Place(g *Grid, graph *compile.BlockDFG, replicas int) (*Placement, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("fabric: need at least one replica")
+	}
+	if fit := MaxReplicasFor(g, graph); replicas > fit {
+		return nil, fmt.Errorf("fabric: %d replicas of %q (%d nodes) exceed capacity (fit %d)",
+			replicas, graphName(graph), len(graph.Nodes), fit)
+	}
+
+	p := &Placement{Graph: graph, Replicas: replicas}
+	free := make(map[int]bool, len(g.Units))
+	for _, u := range g.Units {
+		free[u.ID] = true
+	}
+
+	totalHops, totalEdges := int64(0), 0
+	for r := 0; r < replicas; r++ {
+		unitOf := make([]int, len(graph.Nodes))
+		for _, n := range graph.Nodes {
+			best, bestCost := -1, int64(1<<62)
+			for _, cand := range g.byClass[n.Class()] {
+				if !free[cand] {
+					continue
+				}
+				cost := int64(0)
+				for _, in := range n.In {
+					cost += g.Hops(unitOf[in], cand)
+				}
+				for _, in := range n.CtlIn {
+					cost += g.Hops(unitOf[in], cand)
+				}
+				if len(n.In)+len(n.CtlIn) == 0 {
+					// Root nodes (the initiator): spread replicas out by
+					// preferring the unit farthest from origin-placed
+					// replicas — cheap heuristic: any free unit works.
+					cost = 0
+				}
+				if cost < bestCost {
+					best, bestCost = cand, cost
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("fabric: out of %v units placing node %d of replica %d",
+					n.Class(), n.ID, r)
+			}
+			free[best] = false
+			unitOf[n.ID] = best
+		}
+		p.UnitOf = append(p.UnitOf, unitOf)
+
+		edgeLat := make([][]int64, len(graph.Nodes))
+		ctlLat := make([][]int64, len(graph.Nodes))
+		for _, n := range graph.Nodes {
+			el := make([]int64, len(n.In))
+			for i, in := range n.In {
+				el[i] = g.Hops(unitOf[in], unitOf[n.ID])
+				totalHops += el[i]
+				totalEdges++
+			}
+			cl := make([]int64, len(n.CtlIn))
+			for i, in := range n.CtlIn {
+				cl[i] = g.Hops(unitOf[in], unitOf[n.ID])
+			}
+			edgeLat[n.ID] = el
+			ctlLat[n.ID] = cl
+		}
+		p.EdgeLat = append(p.EdgeLat, edgeLat)
+		p.CtlLat = append(p.CtlLat, ctlLat)
+	}
+	if totalEdges > 0 {
+		p.AvgHops = float64(totalHops) / float64(totalEdges)
+	}
+	return p, nil
+}
+
+// PlaceMax places as many replicas as fit (at least one).
+func PlaceMax(g *Grid, graph *compile.BlockDFG) (*Placement, error) {
+	fit := MaxReplicasFor(g, graph)
+	if fit == 0 {
+		return nil, fmt.Errorf("fabric: graph %q (%d nodes, %v) does not fit the grid",
+			graphName(graph), len(graph.Nodes), graph.ClassCounts())
+	}
+	return Place(g, graph, fit)
+}
+
+func graphName(graph *compile.BlockDFG) string {
+	return fmt.Sprintf("block%d", graph.BlockID)
+}
+
+// UnitStats summarizes fabric occupancy for a placement.
+func (p *Placement) UnitStats(g *Grid) map[kir.UnitClass]int {
+	used := make(map[kir.UnitClass]int)
+	for _, unitOf := range p.UnitOf {
+		for _, u := range unitOf {
+			used[g.Units[u].Class]++
+		}
+	}
+	return used
+}
+
+// Fits returns a predicate reporting whether a graph fits this grid at
+// least once (used by compile.CompileFitted to drive block splitting).
+func (g *Grid) Fits(graph *compile.BlockDFG) bool {
+	return MaxReplicasFor(g, graph) > 0
+}

@@ -1,0 +1,328 @@
+// Package kasm is a textual assembly format for the kernel IR — the
+// repository's stand-in for the paper's CUDA/LLVM frontend when a kernel is
+// authored by hand. kir.Kernel.String() emits the same syntax, so kernels
+// round-trip through text.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//	kernel NAME params=N shared=W
+//	@I LABEL:            — block header; append " barrier" for __syncthreads
+//	  rD = OP rA rB ...  — instruction with a destination
+//	  rD = const IMM     — integer constant (use 0x... or f:1.5 for floats)
+//	  rD = param I       — launch parameter
+//	  rD = ld rA [+OFF]  — loads take an optional word offset
+//	  st rA rV [+OFF]    — stores name address then value
+//	  jmp @I             — unconditional terminator
+//	  br rC @T @F        — conditional terminator
+//	  ret                — thread exit
+package kasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"vgiw/internal/kir"
+)
+
+// Parse builds a kernel from kasm source text.
+func Parse(src string) (*kir.Kernel, error) {
+	p := &parser{k: &kir.Kernel{}}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("kasm: line %d: %w", lineNo+1, err)
+		}
+	}
+	if p.k.Name == "" {
+		return nil, fmt.Errorf("kasm: missing kernel header")
+	}
+	if p.cur != nil && !p.terminated {
+		return nil, fmt.Errorf("kasm: block %q not terminated", p.cur.Label)
+	}
+	if err := p.k.Validate(); err != nil {
+		return nil, err
+	}
+	return p.k, nil
+}
+
+type parser struct {
+	k          *kir.Kernel
+	cur        *kir.Block
+	terminated bool
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "kernel "):
+		return p.header(line)
+	case strings.HasPrefix(line, "@"):
+		return p.blockHeader(line)
+	}
+	if p.cur == nil {
+		return fmt.Errorf("statement before first block header")
+	}
+	if p.terminated {
+		return fmt.Errorf("statement after terminator in block %q", p.cur.Label)
+	}
+	return p.stmt(line)
+}
+
+func (p *parser) header(line string) error {
+	if p.k.Name != "" {
+		return fmt.Errorf("duplicate kernel header")
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("kernel header needs a name")
+	}
+	p.k.Name = fields[1]
+	for _, f := range fields[2:] {
+		kv := strings.SplitN(f, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad header field %q", f)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad header value %q", f)
+		}
+		switch kv[0] {
+		case "params":
+			p.k.NumParams = n
+		case "shared":
+			p.k.SharedWds = n
+		default:
+			return fmt.Errorf("unknown header field %q", kv[0])
+		}
+	}
+	return nil
+}
+
+func (p *parser) blockHeader(line string) error {
+	if p.cur != nil && !p.terminated {
+		return fmt.Errorf("block %q not terminated", p.cur.Label)
+	}
+	rest := strings.TrimPrefix(line, "@")
+	fields := strings.Fields(rest)
+	if len(fields) < 2 || !strings.HasSuffix(fields[1], ":") {
+		return fmt.Errorf("block header must be '@I label:'")
+	}
+	idx, err := strconv.Atoi(fields[0])
+	if err != nil || idx != len(p.k.Blocks) {
+		return fmt.Errorf("block index must be %d, got %q", len(p.k.Blocks), fields[0])
+	}
+	b := &kir.Block{Label: strings.TrimSuffix(fields[1], ":")}
+	for _, f := range fields[2:] {
+		if f == "barrier" {
+			b.Barrier = true
+		} else {
+			return fmt.Errorf("unknown block attribute %q", f)
+		}
+	}
+	p.k.Blocks = append(p.k.Blocks, b)
+	p.cur = b
+	p.terminated = false
+	return nil
+}
+
+func (p *parser) stmt(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "jmp":
+		if len(fields) != 2 {
+			return fmt.Errorf("jmp takes one target")
+		}
+		t, err := blockRef(fields[1])
+		if err != nil {
+			return err
+		}
+		p.cur.Term = kir.Terminator{Kind: kir.TermJump, Then: t}
+		p.terminated = true
+		return nil
+	case "br":
+		if len(fields) != 4 {
+			return fmt.Errorf("br takes cond and two targets")
+		}
+		c, err := regRef(fields[1])
+		if err != nil {
+			return err
+		}
+		then, err := blockRef(fields[2])
+		if err != nil {
+			return err
+		}
+		els, err := blockRef(fields[3])
+		if err != nil {
+			return err
+		}
+		p.cur.Term = kir.Terminator{Kind: kir.TermBranch, Cond: c, Then: then, Else: els}
+		p.noteReg(c)
+		p.terminated = true
+		return nil
+	case "ret":
+		p.cur.Term = kir.Terminator{Kind: kir.TermRet}
+		p.terminated = true
+		return nil
+	}
+
+	// Instruction: either "rD = op ..." or a store "st rA rV [+off]".
+	if fields[0] == "st" || fields[0] == "stsh" {
+		op, _ := kir.OpByName(fields[0])
+		if len(fields) < 3 {
+			return fmt.Errorf("%s takes address and value registers", fields[0])
+		}
+		addr, err := regRef(fields[1])
+		if err != nil {
+			return err
+		}
+		val, err := regRef(fields[2])
+		if err != nil {
+			return err
+		}
+		in := kir.Instr{Op: op, Dst: kir.NoReg, Src: [3]kir.Reg{addr, val, kir.NoReg}}
+		if len(fields) == 4 {
+			off, err := offRef(fields[3])
+			if err != nil {
+				return err
+			}
+			in.Imm = off
+		} else if len(fields) > 4 {
+			return fmt.Errorf("trailing tokens after store")
+		}
+		p.noteReg(addr)
+		p.noteReg(val)
+		p.cur.Instrs = append(p.cur.Instrs, in)
+		return nil
+	}
+
+	if len(fields) < 3 || fields[1] != "=" {
+		return fmt.Errorf("expected 'rD = op ...' or a terminator, got %q", line)
+	}
+	dst, err := regRef(fields[0])
+	if err != nil {
+		return err
+	}
+	op, ok := kir.OpByName(fields[2])
+	if !ok {
+		return fmt.Errorf("unknown opcode %q", fields[2])
+	}
+	if !op.HasDst() {
+		return fmt.Errorf("%v cannot have a destination", op)
+	}
+	in := kir.Instr{Op: op, Dst: dst, Src: [3]kir.Reg{kir.NoReg, kir.NoReg, kir.NoReg}}
+	args := fields[3:]
+	switch op {
+	case kir.OpConst:
+		if len(args) != 1 {
+			return fmt.Errorf("const takes one immediate")
+		}
+		imm, err := immRef(args[0])
+		if err != nil {
+			return err
+		}
+		in.Imm = imm
+	case kir.OpParam:
+		if len(args) != 1 {
+			return fmt.Errorf("param takes one index")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("bad param index %q", args[0])
+		}
+		in.Imm = int32(n)
+	default:
+		nsrc := op.NumSrc()
+		// Loads allow a trailing +offset.
+		if op.IsLoad() && len(args) == nsrc+1 {
+			off, err := offRef(args[nsrc])
+			if err != nil {
+				return err
+			}
+			in.Imm = off
+			args = args[:nsrc]
+		}
+		if len(args) != nsrc {
+			return fmt.Errorf("%v takes %d sources, got %d", op, nsrc, len(args))
+		}
+		for i, a := range args {
+			r, err := regRef(a)
+			if err != nil {
+				return err
+			}
+			in.Src[i] = r
+			p.noteReg(r)
+		}
+	}
+	p.noteReg(dst)
+	p.cur.Instrs = append(p.cur.Instrs, in)
+	return nil
+}
+
+// noteReg grows the kernel's register space to cover r.
+func (p *parser) noteReg(r kir.Reg) {
+	if int(r) >= p.k.NumRegs {
+		p.k.NumRegs = int(r) + 1
+	}
+}
+
+func regRef(s string) (kir.Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return kir.NoReg, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return kir.NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return kir.Reg(n), nil
+}
+
+func blockRef(s string) (int, error) {
+	if !strings.HasPrefix(s, "@") {
+		return 0, fmt.Errorf("expected block reference, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad block reference %q", s)
+	}
+	return n, nil
+}
+
+func offRef(s string) (int32, error) {
+	if !strings.HasPrefix(s, "+") && !strings.HasPrefix(s, "-") {
+		return 0, fmt.Errorf("expected offset (+N), got %q", s)
+	}
+	n, err := strconv.ParseInt(strings.TrimPrefix(s, "+"), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad offset %q", s)
+	}
+	return int32(n), nil
+}
+
+// immRef parses integer immediates (decimal or 0x hex) and float immediates
+// written as f:VALUE (stored as the float32 bit pattern).
+func immRef(s string) (int32, error) {
+	if strings.HasPrefix(s, "f:") {
+		f, err := strconv.ParseFloat(s[2:], 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad float immediate %q", s)
+		}
+		return int32(math.Float32bits(float32(f))), nil
+	}
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(n), nil
+}
+
+// Print renders a kernel in parseable kasm form (kir.Kernel.String emits the
+// same syntax).
+func Print(k *kir.Kernel) string { return k.String() }

@@ -1,0 +1,146 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+
+	"vgiw/internal/kernels"
+	"vgiw/internal/kir"
+)
+
+const saxpySrc = `
+# y[i] = a*x[i] + y[i] with a bounds guard
+kernel saxpy params=4 shared=0
+@0 entry:
+  r0 = tid
+  r1 = param 0
+  r2 = setlt r0 r1
+  br r2 @1 @2
+@1 body:
+  r3 = tid
+  r4 = param 1
+  r5 = param 2
+  r6 = param 3
+  r7 = add r5 r3
+  r8 = add r6 r3
+  r9 = ld r7
+  r10 = ld r8 +0
+  r11 = fmul r4 r9
+  r12 = fadd r11 r10
+  st r8 r12
+  jmp @2
+@2 exit:
+  ret
+`
+
+func TestParseSaxpyAndRun(t *testing.T) {
+	k, err := Parse(saxpySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "saxpy" || k.NumParams != 4 || len(k.Blocks) != 3 {
+		t.Fatalf("parsed kernel wrong: %s params=%d blocks=%d", k.Name, k.NumParams, len(k.Blocks))
+	}
+	const n = 64
+	mem := make([]uint32, 2*n)
+	for i := 0; i < n; i++ {
+		mem[i] = kir.F32(float32(i))
+		mem[n+i] = kir.F32(1)
+	}
+	in := &kir.Interp{
+		Kernel: k,
+		Launch: kir.Launch1D(2, 32, n, kir.F32(0.5), 0, n),
+		Global: mem,
+	}
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := kir.F32(0.5*float32(i) + 1)
+		if mem[n+i] != want {
+			t.Fatalf("y[%d] = %v, want %v", i, kir.AsF32(mem[n+i]), kir.AsF32(want))
+		}
+	}
+}
+
+// Round trip: every registered benchmark kernel prints to kasm and parses
+// back to an equivalent kernel.
+func TestRoundTripAllBenchmarks(t *testing.T) {
+	for _, spec := range kernels.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			inst, err := spec.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := Print(inst.Kernel)
+			k2, err := Parse(text)
+			if err != nil {
+				t.Fatalf("parse failed: %v\n%s", err, firstLines(text, 12))
+			}
+			if k2.Name != inst.Kernel.Name || len(k2.Blocks) != len(inst.Kernel.Blocks) {
+				t.Fatalf("structure mismatch after round trip")
+			}
+			if Print(k2) != text {
+				t.Error("second print differs from first (not a fixed point)")
+			}
+		})
+	}
+}
+
+func TestParseFloatImmediate(t *testing.T) {
+	k, err := Parse("kernel f params=0 shared=0\n@0 e:\n  r0 = const f:1.5\n  ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kir.AsF32(uint32(k.Blocks[0].Instrs[0].Imm)); got != 1.5 {
+		t.Errorf("float immediate = %v, want 1.5", got)
+	}
+}
+
+func TestParseBarrierAttribute(t *testing.T) {
+	src := `kernel b params=0 shared=4
+@0 entry:
+  r0 = tidx
+  stsh r0 r0
+  jmp @1
+@1 after: barrier
+  r1 = ldsh r0
+  ret
+`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Blocks[1].Barrier {
+		t.Error("barrier attribute not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":          "@0 e:\n  ret\n",
+		"bad opcode":         "kernel k params=0 shared=0\n@0 e:\n  r0 = frobnicate r1\n  ret\n",
+		"unterminated":       "kernel k params=0 shared=0\n@0 e:\n  r0 = tid\n",
+		"wrong block index":  "kernel k params=0 shared=0\n@7 e:\n  ret\n",
+		"bad arity":          "kernel k params=0 shared=0\n@0 e:\n  r0 = add r1\n  ret\n",
+		"stmt after ret":     "kernel k params=0 shared=0\n@0 e:\n  ret\n  r0 = tid\n",
+		"bad register":       "kernel k params=0 shared=0\n@0 e:\n  r0 = mov bogus\n  ret\n",
+		"bad target":         "kernel k params=0 shared=0\n@0 e:\n  jmp @9\n",
+		"param out of range": "kernel k params=1 shared=0\n@0 e:\n  r0 = param 3\n  ret\n",
+		"dup header":         "kernel k params=0 shared=0\nkernel k2 params=0 shared=0\n@0 e:\n  ret\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

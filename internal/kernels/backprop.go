@@ -1,0 +1,234 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// bpnn ports Rodinia backprop's two kernels. The network layer is HEIGHT
+// input units wide; weights form a (HEIGHT+1) x WIDTH matrix (row 0 is the
+// bias row, as in the original).
+const (
+	bpEta      = 0.3
+	bpMomentum = 0.3
+	bpHeight   = 16 // input units per CTA column (original uses 16)
+)
+
+func init() {
+	register(Spec{
+		Name:        "bpnn.adjust_weights",
+		App:         "BPNN",
+		Domain:      "Pattern Recognition",
+		Description: "Neural network training: weight update",
+		PaperBlocks: 3,
+		Class:       Memory,
+		SGMF:        false, // flattened graph exceeds the fabric
+		Build:       buildBPAdjust,
+	})
+	register(Spec{
+		Name:        "bpnn.layerforward",
+		App:         "BPNN",
+		Domain:      "Pattern Recognition",
+		Description: "Neural network training: layer forward pass (shared-memory reduction)",
+		PaperBlocks: 20,
+		Class:       Compute,
+		SGMF:        false, // barriers + reduction loop
+		Build:       buildBPLayerForward,
+	})
+}
+
+// buildBPAdjust:
+//
+//	w[idx]    += eta*delta[y]*ly[x] + momentum*oldw[idx]
+//	oldw[idx]  = eta*delta[y]*ly[x] + momentum*oldw[idx]
+func buildBPAdjust(scale int) (*Instance, error) {
+	width := 1024 * clampScale(scale)
+	rows := bpHeight + 1
+	wBase := 0
+	oldwBase := wBase + rows*width
+	deltaBase := oldwBase + rows*width
+	lyBase := deltaBase + width
+	global := make([]uint32, lyBase+rows)
+	r := newRNG(97)
+	for i := 0; i < rows*width; i++ {
+		global[wBase+i] = kir.F32(r.f32Range(-1, 1))
+		global[oldwBase+i] = kir.F32(r.f32Range(-0.1, 0.1))
+	}
+	for i := 0; i < width; i++ {
+		global[deltaBase+i] = kir.F32(r.f32Range(-0.5, 0.5))
+	}
+	for i := 0; i < rows; i++ {
+		global[lyBase+i] = kir.F32(r.f32Range(0, 1))
+	}
+
+	b := kir.NewBuilder("bpnn.adjust_weights")
+	b.SetParams(5) // width, wBase, oldwBase, deltaBase, lyBase
+	entry := b.NewBlock("entry")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	// The original indexes by (blockIdx.y, threadIdx): y spans the weight
+	// row (1..HEIGHT), x the hidden unit. We flatten: tid = row*width+col
+	// over rows 1..HEIGHT.
+	tid := b.Tid()
+	total := b.Mul(b.Const(bpHeight), b.Param(0))
+	b.Branch(b.SetLT(tid, total), body, exit)
+
+	b.SetBlock(body)
+	width4 := b.Param(0)
+	row := b.AddI(b.Div(b.Tid(), width4), 1)
+	col := b.Rem(b.Tid(), width4)
+	idx := b.Add(b.Mul(row, width4), col)
+	delta := b.Load(b.Add(b.Param(3), col), 0)
+	ly := b.Load(b.Add(b.Param(4), row), 0)
+	oldw := b.Load(b.Add(b.Param(2), idx), 0)
+	dw := b.FAdd(
+		b.FMul(b.FMul(b.ConstF(bpEta), delta), ly),
+		b.FMul(b.ConstF(bpMomentum), oldw))
+	wAddr := b.Add(b.Param(1), idx)
+	b.Store(wAddr, 0, b.FAdd(b.Load(wAddr, 0), dw))
+	b.Store(b.Add(b.Param(2), idx), 0, dw)
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	wantW := make([]uint32, rows*width)
+	wantOld := make([]uint32, rows*width)
+	copy(wantW, global[wBase:wBase+rows*width])
+	copy(wantOld, global[oldwBase:oldwBase+rows*width])
+	for row := 1; row <= bpHeight; row++ {
+		for col := 0; col < width; col++ {
+			idx := row*width + col
+			delta := kir.AsF32(global[deltaBase+col])
+			ly := kir.AsF32(global[lyBase+row])
+			oldw := kir.AsF32(global[oldwBase+idx])
+			dw := (bpEta*delta)*ly + bpMomentum*oldw
+			wantW[idx] = kir.F32(kir.AsF32(global[wBase+idx]) + dw)
+			wantOld[idx] = kir.F32(dw)
+		}
+	}
+
+	const blockX = 128
+	threads := bpHeight * width
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(threads/blockX, blockX,
+			uint32(width), uint32(wBase), uint32(oldwBase), uint32(deltaBase), uint32(lyBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			if err := expectWords(final, wBase, wantW, "bpnn.w"); err != nil {
+				return err
+			}
+			return expectWords(final, oldwBase, wantOld, "bpnn.oldw")
+		},
+	}, nil
+}
+
+// buildBPLayerForward: each CTA column computes one hidden unit's weighted
+// input sum via a shared-memory tree reduction with barriers:
+//
+//	sh[ty] = input[ty] * w[(ty+1)*width + unit]; barrier
+//	for s in {1,2,4,8}: if ty % (2s) == 0: sh[ty] += sh[ty+s]; barrier
+//	if ty == 0: out[unit] = sh[0]
+func buildBPLayerForward(scale int) (*Instance, error) {
+	units := 512 * clampScale(scale) // hidden units (one CTA each)
+	rows := bpHeight + 1
+	inBase := 0
+	wBase := inBase + bpHeight
+	outBase := wBase + rows*units
+	global := make([]uint32, outBase+units)
+	r := newRNG(101)
+	for i := 0; i < bpHeight; i++ {
+		global[inBase+i] = kir.F32(r.f32Range(0, 1))
+	}
+	for i := 0; i < rows*units; i++ {
+		global[wBase+i] = kir.F32(r.f32Range(-1, 1))
+	}
+
+	b := kir.NewBuilder("bpnn.layerforward")
+	b.SetParams(4) // units, inBase, wBase, outBase
+	b.SetShared(bpHeight)
+
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	ty := b.TidX()
+	unit := b.CtaX()
+	in := b.Load(b.Add(b.Param(1), ty), 0)
+	w := b.Load(b.Add(b.Param(2), b.Add(b.Mul(b.AddI(ty, 1), b.Param(0)), unit)), 0)
+	b.StoreSh(ty, 0, b.FMul(in, w))
+
+	// Tree reduction, one barrier block per step (HEIGHT = 16 -> 4 steps).
+	prev := entry
+	for s := 1; s < bpHeight; s *= 2 {
+		step := b.NewBlock("step")
+		add := b.NewBlock("step_add")
+		next := b.NewBlock("step_next")
+		b.MarkBarrier(step)
+		b.SetBlock(prev)
+		b.Jump(step)
+
+		b.SetBlock(step)
+		tyS := b.TidX()
+		cond := b.SetEQ(b.Rem(tyS, b.Const(int32(2*s))), b.Const(0))
+		b.Branch(cond, add, next)
+
+		b.SetBlock(add)
+		a := b.LoadSh(b.TidX(), 0)
+		bb := b.LoadSh(b.AddI(b.TidX(), int32(s)), 0)
+		b.StoreSh(b.TidX(), 0, b.FAdd(a, bb))
+		b.Jump(next)
+
+		prev = next
+	}
+
+	writeout := b.NewBlock("writeout")
+	exit := b.NewBlock("exit")
+	b.MarkBarrier(writeout)
+	b.SetBlock(prev)
+	b.Jump(writeout)
+
+	b.SetBlock(writeout)
+	isZero := b.SetEQ(b.TidX(), b.Const(0))
+	store := b.NewBlock("store")
+	b.Branch(isZero, store, exit)
+
+	b.SetBlock(store)
+	b.Store(b.Add(b.Param(3), b.CtaX()), 0, b.LoadSh(b.Const(0), 0))
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, units)
+	for u := 0; u < units; u++ {
+		sh := make([]float32, bpHeight)
+		for ty := 0; ty < bpHeight; ty++ {
+			sh[ty] = kir.AsF32(global[inBase+ty]) * kir.AsF32(global[wBase+(ty+1)*units+u])
+		}
+		for s := 1; s < bpHeight; s *= 2 {
+			for ty := 0; ty < bpHeight; ty++ {
+				if ty%(2*s) == 0 {
+					sh[ty] = sh[ty] + sh[ty+s]
+				}
+			}
+		}
+		want[u] = kir.F32(sh[0])
+	}
+
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(units, bpHeight,
+			uint32(units), uint32(inBase), uint32(wBase), uint32(outBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "bpnn.out")
+		},
+	}, nil
+}

@@ -1,0 +1,285 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// bfs ports Rodinia's breadth-first-search kernels. The graph is CSR:
+// starting[i] is node i's first edge index, noEdges[i] its edge count, and
+// edges[] the destination list. One launch of Kernel processes one frontier
+// expansion; Kernel2 promotes the updating mask into the next frontier.
+//
+// The instance reproduces a mid-search frontier: the host runs the first few
+// BFS levels, then the simulators execute the next level.
+func init() {
+	register(Spec{
+		Name:        "bfs.kernel1",
+		App:         "BFS",
+		Domain:      "Graph Algorithms",
+		Description: "Breadth-first search: frontier expansion",
+		PaperBlocks: 8,
+		Class:       Memory,
+		SGMF:        false, // data-dependent edge loop
+		Build:       buildBFS1,
+	})
+	register(Spec{
+		Name:        "bfs.kernel2",
+		App:         "BFS",
+		Domain:      "Graph Algorithms",
+		Description: "Breadth-first search: frontier promotion",
+		PaperBlocks: 3,
+		Class:       Memory,
+		SGMF:        true,
+		Build:       buildBFS2,
+	})
+}
+
+// bfsGraph holds a synthetic random graph plus BFS state arrays laid out in
+// one flat memory image.
+type bfsGraph struct {
+	n        int
+	starting []int32
+	noEdges  []int32
+	edges    []int32
+
+	// word-addressed bases
+	startBase, countBase, edgeBase         int
+	maskBase, updBase, visitBase, costBase int
+	overAddr                               int
+	words                                  int
+}
+
+func makeBFSGraph(scale int) *bfsGraph {
+	n := 2048 * clampScale(scale)
+	const avgDeg = 4
+	r := newRNG(67)
+	g := &bfsGraph{n: n}
+	g.starting = make([]int32, n)
+	g.noEdges = make([]int32, n)
+	for i := 0; i < n; i++ {
+		g.noEdges[i] = int32(1 + r.intn(2*avgDeg-1))
+	}
+	total := int32(0)
+	for i := 0; i < n; i++ {
+		g.starting[i] = total
+		total += g.noEdges[i]
+	}
+	g.edges = make([]int32, total)
+	for i := range g.edges {
+		g.edges[i] = int32(r.intn(n))
+	}
+
+	g.startBase = 0
+	g.countBase = g.startBase + n
+	g.edgeBase = g.countBase + n
+	g.maskBase = g.edgeBase + len(g.edges)
+	g.updBase = g.maskBase + n
+	g.visitBase = g.updBase + n
+	g.costBase = g.visitBase + n
+	g.overAddr = g.costBase + n
+	g.words = g.overAddr + 1
+	return g
+}
+
+// image lays out graph + state into a memory image. State arrays are the
+// BFS state after `levels` host-side frontier expansions from node 0.
+func (g *bfsGraph) image(levels int) []uint32 {
+	mem := make([]uint32, g.words)
+	for i := 0; i < g.n; i++ {
+		mem[g.startBase+i] = uint32(g.starting[i])
+		mem[g.countBase+i] = uint32(g.noEdges[i])
+	}
+	for i, e := range g.edges {
+		mem[g.edgeBase+i] = uint32(e)
+	}
+	mask := make([]bool, g.n)
+	visited := make([]bool, g.n)
+	cost := make([]int32, g.n)
+	for i := range cost {
+		cost[i] = -1
+	}
+	mask[0], visited[0], cost[0] = true, true, 0
+	for l := 0; l < levels; l++ {
+		next := make([]bool, g.n)
+		for i := 0; i < g.n; i++ {
+			if !mask[i] {
+				continue
+			}
+			mask[i] = false
+			for e := g.starting[i]; e < g.starting[i]+g.noEdges[i]; e++ {
+				id := int(g.edges[e])
+				if !visited[id] {
+					cost[id] = cost[i] + 1
+					next[id] = true
+				}
+			}
+		}
+		for i := 0; i < g.n; i++ {
+			if next[i] {
+				mask[i], visited[i] = true, true
+			}
+		}
+	}
+	for i := 0; i < g.n; i++ {
+		mem[g.maskBase+i] = boolWord(mask[i])
+		mem[g.visitBase+i] = boolWord(visited[i])
+		mem[g.costBase+i] = uint32(cost[i])
+	}
+	return mem
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// buildBFS1: one frontier expansion.
+func buildBFS1(scale int) (*Instance, error) {
+	g := makeBFSGraph(scale)
+	global := g.image(2) // state after two host-side levels
+
+	b := kir.NewBuilder("bfs.kernel1")
+	b.SetParams(8) // n, startBase, countBase, edgeBase, maskBase, updBase, visitBase, costBase
+	entry := b.NewBlock("entry")
+	checkMask := b.NewBlock("check_mask")
+	setup := b.NewBlock("setup")
+	loopHead := b.NewBlock("loop_head")
+	update := b.NewBlock("update")
+	latch := b.NewBlock("latch")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	b.Branch(b.SetLT(tid, b.Param(0)), checkMask, exit)
+
+	b.SetBlock(checkMask)
+	inFrontier := b.Load(b.Add(b.Param(4), b.Tid()), 0)
+	b.Branch(inFrontier, setup, exit)
+
+	b.SetBlock(setup)
+	b.Store(b.Add(b.Param(4), b.Tid()), 0, b.Const(0)) // graph_mask[tid] = false
+	myCost := b.Load(b.Add(b.Param(7), b.Tid()), 0)
+	e := b.Mov(b.Load(b.Add(b.Param(1), b.Tid()), 0))
+	end := b.Add(e, b.Load(b.Add(b.Param(2), b.Tid()), 0))
+	b.Branch(b.SetLT(e, end), loopHead, exit)
+
+	b.SetBlock(loopHead)
+	id := b.Load(b.Add(b.Param(3), e), 0)
+	vis := b.Load(b.Add(b.Param(6), id), 0)
+	b.Branch(b.SetEQ(vis, b.Const(0)), update, latch)
+
+	b.SetBlock(update)
+	b.Store(b.Add(b.Param(7), id), 0, b.AddI(myCost, 1)) // cost[id] = cost[tid]+1
+	b.Store(b.Add(b.Param(5), id), 0, b.Const(1))        // updating_mask[id] = true
+	b.Jump(latch)
+
+	b.SetBlock(latch)
+	e1 := b.AddI(e, 1)
+	b.MovTo(e, e1)
+	b.Branch(b.SetLT(e1, end), loopHead, exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference: apply one expansion to a copy.
+	want := make([]uint32, len(global))
+	copy(want, global)
+	for i := 0; i < g.n; i++ {
+		if want[g.maskBase+i] == 0 {
+			continue
+		}
+		want[g.maskBase+i] = 0
+		myCost := int32(want[g.costBase+i])
+		for e := g.starting[i]; e < g.starting[i]+g.noEdges[i]; e++ {
+			id := int(g.edges[e])
+			if want[g.visitBase+id] == 0 {
+				want[g.costBase+id] = uint32(myCost + 1)
+				want[g.updBase+id] = 1
+			}
+		}
+	}
+
+	const blockX = 128
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(g.n/blockX, blockX,
+			uint32(g.n), uint32(g.startBase), uint32(g.countBase), uint32(g.edgeBase),
+			uint32(g.maskBase), uint32(g.updBase), uint32(g.visitBase), uint32(g.costBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			// Frontier nodes at the same level write the same cost, so the
+			// result is deterministic despite concurrent writers.
+			return expectWords(final, 0, want, "bfs1.mem")
+		},
+	}, nil
+}
+
+// buildBFS2: promote updating mask into the frontier.
+func buildBFS2(scale int) (*Instance, error) {
+	g := makeBFSGraph(scale)
+	global := g.image(2)
+	// Seed the updating mask as kernel1 would have left it.
+	for i := 0; i < g.n; i++ {
+		if global[g.maskBase+i] != 0 {
+			for e := g.starting[i]; e < g.starting[i]+g.noEdges[i]; e++ {
+				id := int(g.edges[e])
+				if global[g.visitBase+id] == 0 {
+					global[g.updBase+id] = 1
+				}
+			}
+		}
+		global[g.maskBase+i] = 0
+	}
+
+	b := kir.NewBuilder("bfs.kernel2")
+	b.SetParams(5) // n, maskBase, updBase, visitBase, overAddr
+	entry := b.NewBlock("entry")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	guard := b.SetLT(tid, b.Param(0))
+	upd := b.Load(b.Add(b.Param(2), tid), 0)
+	b.Branch(b.And(guard, upd), body, exit)
+
+	b.SetBlock(body)
+	b.Store(b.Add(b.Param(1), b.Tid()), 0, b.Const(1)) // graph_mask = true
+	b.Store(b.Add(b.Param(3), b.Tid()), 0, b.Const(1)) // visited = true
+	b.Store(b.Param(4), 0, b.Const(1))                 // *over = true
+	b.Store(b.Add(b.Param(2), b.Tid()), 0, b.Const(0)) // updating_mask = false
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, len(global))
+	copy(want, global)
+	for i := 0; i < g.n; i++ {
+		if want[g.updBase+i] != 0 {
+			want[g.maskBase+i] = 1
+			want[g.visitBase+i] = 1
+			want[g.overAddr] = 1
+			want[g.updBase+i] = 0
+		}
+	}
+
+	const blockX = 128
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(g.n/blockX, blockX,
+			uint32(g.n), uint32(g.maskBase), uint32(g.updBase), uint32(g.visitBase), uint32(g.overAddr)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, 0, want, "bfs2.mem")
+		},
+	}, nil
+}

@@ -1,0 +1,382 @@
+package kernels
+
+import (
+	"math"
+
+	"vgiw/internal/kir"
+)
+
+// cfd ports four kernels from Rodinia's computational fluid dynamics solver
+// (an unstructured Euler solver). Variables are stored struct-of-arrays:
+// density, momentum x/y/z, energy — each a stride-nelr plane.
+const (
+	cfdVarDensity = 0
+	cfdVarMomX    = 1
+	cfdVarMomY    = 2
+	cfdVarMomZ    = 3
+	cfdVarEnergy  = 4
+	cfdNVar       = 5
+	cfdGamma      = 1.4
+	cfdNNB        = 4 // neighbors per element
+)
+
+func init() {
+	register(Spec{
+		Name:        "cfd.initialize_variables",
+		App:         "CFD",
+		Domain:      "Fluid Dynamics",
+		Description: "CFD solver: fill variable planes with far-field values",
+		PaperBlocks: 1,
+		Class:       Copy,
+		SGMF:        true,
+		Build:       buildCFDInit,
+	})
+	register(Spec{
+		Name:        "cfd.compute_step_factor",
+		App:         "CFD",
+		Domain:      "Fluid Dynamics",
+		Description: "CFD solver: per-element CFL step factor",
+		PaperBlocks: 2,
+		Class:       Compute,
+		SGMF:        false, // graph exceeds the fabric
+		Build:       buildCFDStepFactor,
+	})
+	register(Spec{
+		Name:        "cfd.time_step",
+		App:         "CFD",
+		Domain:      "Fluid Dynamics",
+		Description: "CFD solver: Euler update (pure data movement)",
+		PaperBlocks: 1,
+		Class:       Copy,
+		SGMF:        false, // graph exceeds the fabric
+		Build:       buildCFDTimeStep,
+	})
+	register(Spec{
+		Name:        "cfd.compute_flux",
+		App:         "CFD",
+		Domain:      "Fluid Dynamics",
+		Description: "CFD solver: per-face flux with boundary conditions",
+		PaperBlocks: 12,
+		Class:       Compute,
+		SGMF:        false, // loops over neighbors
+		Build:       buildCFDFlux,
+	})
+}
+
+// cfdSize returns the element count at a scale.
+func cfdSize(scale int) int { return 1024 * clampScale(scale) }
+
+// buildCFDInit: variables[j*nelr + i] = ff[j] for the five planes (the
+// original unrolls the j loop).
+func buildCFDInit(scale int) (*Instance, error) {
+	nelr := cfdSize(scale)
+	varBase := 0
+	global := make([]uint32, cfdNVar*nelr)
+	ff := [cfdNVar]float32{1.4, 1.1, 0.2, 0.1, 2.5}
+
+	b := kir.NewBuilder("cfd.initialize_variables")
+	b.SetParams(2 + cfdNVar) // nelr, varBase, ff0..ff4
+	blk := b.NewBlock("entry")
+	b.SetBlock(blk)
+	tid := b.Tid()
+	nelrR := b.Param(0)
+	base := b.Param(1)
+	for j := 0; j < cfdNVar; j++ {
+		addr := b.Add(base, b.Add(b.Mul(b.Const(int32(j)), nelrR), tid))
+		b.Store(addr, 0, b.Param(2+j))
+	}
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, cfdNVar*nelr)
+	for j := 0; j < cfdNVar; j++ {
+		for i := 0; i < nelr; i++ {
+			want[j*nelr+i] = kir.F32(ff[j])
+		}
+	}
+	params := []uint32{uint32(nelr), uint32(varBase)}
+	for _, v := range ff {
+		params = append(params, kir.F32(v))
+	}
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(nelr/128, 128, params...),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, varBase, want, "cfd.init")
+		},
+	}, nil
+}
+
+// cfdFillVariables writes plausible flow variables.
+func cfdFillVariables(r *rng, vars []uint32, nelr int) {
+	for i := 0; i < nelr; i++ {
+		density := r.f32Range(0.5, 2)
+		vars[cfdVarDensity*nelr+i] = kir.F32(density)
+		vars[cfdVarMomX*nelr+i] = kir.F32(r.f32Range(-1, 1) * density)
+		vars[cfdVarMomY*nelr+i] = kir.F32(r.f32Range(-1, 1) * density)
+		vars[cfdVarMomZ*nelr+i] = kir.F32(r.f32Range(-1, 1) * density)
+		// Keep energy high enough for positive pressure.
+		vars[cfdVarEnergy*nelr+i] = kir.F32(r.f32Range(4, 8) * density)
+	}
+}
+
+// cfdStepFactorRef mirrors the kernel arithmetic for one element.
+func cfdStepFactorRef(density, mx, my, mz, energy, area float32) float32 {
+	invD := 1 / density
+	sqd := (mx*mx + my*my + mz*mz) * (invD * invD)
+	pressure := (cfdGamma - 1) * (energy - 0.5*(density*sqd))
+	sound := float32(math.Sqrt(float64(cfdGamma * pressure * invD)))
+	speed := float32(math.Sqrt(float64(sqd)))
+	denom := float32(math.Sqrt(float64(area))) * (speed + sound)
+	return 0.5 / denom
+}
+
+// buildCFDStepFactor: per-element CFL factor.
+func buildCFDStepFactor(scale int) (*Instance, error) {
+	nelr := cfdSize(scale)
+	varBase := 0
+	areaBase := cfdNVar * nelr
+	outBase := areaBase + nelr
+	global := make([]uint32, outBase+nelr)
+	r := newRNG(23)
+	cfdFillVariables(r, global[varBase:], nelr)
+	for i := 0; i < nelr; i++ {
+		global[areaBase+i] = kir.F32(r.f32Range(0.5, 3))
+	}
+
+	b := kir.NewBuilder("cfd.compute_step_factor")
+	b.SetParams(4) // nelr, varBase, areaBase, outBase
+	blk := b.NewBlock("entry")
+	b.SetBlock(blk)
+	tid := b.Tid()
+	nelrR := b.Param(0)
+	vb := b.Param(1)
+	ld := func(plane int) kir.Reg {
+		return b.Load(b.Add(vb, b.Add(b.Mul(b.Const(int32(plane)), nelrR), tid)), 0)
+	}
+	density := ld(cfdVarDensity)
+	mx := ld(cfdVarMomX)
+	my := ld(cfdVarMomY)
+	mz := ld(cfdVarMomZ)
+	energy := ld(cfdVarEnergy)
+	invD := b.FDiv(b.ConstF(1), density)
+	sqd := b.FMul(
+		b.FAdd(b.FAdd(b.FMul(mx, mx), b.FMul(my, my)), b.FMul(mz, mz)),
+		b.FMul(invD, invD))
+	pressure := b.FMul(b.ConstF(cfdGamma-1),
+		b.FSub(energy, b.FMul(b.ConstF(0.5), b.FMul(density, sqd))))
+	sound := b.FSqrt(b.FMul(b.FMul(b.ConstF(cfdGamma), pressure), invD))
+	speed := b.FSqrt(sqd)
+	area := b.Load(b.Add(b.Param(2), tid), 0)
+	denom := b.FMul(b.FSqrt(area), b.FAdd(speed, sound))
+	b.Store(b.Add(b.Param(3), tid), 0, b.FDiv(b.ConstF(0.5), denom))
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, nelr)
+	for i := 0; i < nelr; i++ {
+		want[i] = kir.F32(cfdStepFactorRef(
+			kir.AsF32(global[cfdVarDensity*nelr+i]),
+			kir.AsF32(global[cfdVarMomX*nelr+i]),
+			kir.AsF32(global[cfdVarMomY*nelr+i]),
+			kir.AsF32(global[cfdVarMomZ*nelr+i]),
+			kir.AsF32(global[cfdVarEnergy*nelr+i]),
+			kir.AsF32(global[areaBase+i])))
+	}
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(nelr/128, 128,
+			uint32(nelr), uint32(varBase), uint32(areaBase), uint32(outBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "cfd.step_factor")
+		},
+	}, nil
+}
+
+// buildCFDTimeStep: variables = old + factor*fluxes for five planes — the
+// paper's example of a kernel that "simply moves data from one array to
+// another" and can show a slowdown on VGIW (§5).
+func buildCFDTimeStep(scale int) (*Instance, error) {
+	nelr := cfdSize(scale)
+	oldBase := 0
+	fluxBase := cfdNVar * nelr
+	outBase := 2 * cfdNVar * nelr
+	stepBase := 3 * cfdNVar * nelr
+	global := make([]uint32, stepBase+nelr)
+	r := newRNG(31)
+	for i := 0; i < 2*cfdNVar*nelr; i++ {
+		global[i] = kir.F32(r.f32Range(-2, 2))
+	}
+	for i := 0; i < nelr; i++ {
+		global[stepBase+i] = kir.F32(r.f32Range(0.01, 0.1))
+	}
+
+	b := kir.NewBuilder("cfd.time_step")
+	b.SetParams(5) // nelr, oldBase, fluxBase, outBase, stepBase
+	blk := b.NewBlock("entry")
+	b.SetBlock(blk)
+	tid := b.Tid()
+	nelrR := b.Param(0)
+	factor := b.Load(b.Add(b.Param(4), tid), 0)
+	for j := 0; j < cfdNVar; j++ {
+		off := b.Add(b.Mul(b.Const(int32(j)), nelrR), tid)
+		oldV := b.Load(b.Add(b.Param(1), off), 0)
+		flux := b.Load(b.Add(b.Param(2), off), 0)
+		b.Store(b.Add(b.Param(3), off), 0, b.FAdd(oldV, b.FMul(factor, flux)))
+	}
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, cfdNVar*nelr)
+	for j := 0; j < cfdNVar; j++ {
+		for i := 0; i < nelr; i++ {
+			oldV := kir.AsF32(global[oldBase+j*nelr+i])
+			flux := kir.AsF32(global[fluxBase+j*nelr+i])
+			factor := kir.AsF32(global[stepBase+i])
+			want[j*nelr+i] = kir.F32(oldV + factor*flux)
+		}
+	}
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(nelr/128, 128,
+			uint32(nelr), uint32(oldBase), uint32(fluxBase), uint32(outBase), uint32(stepBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "cfd.time_step")
+		},
+	}, nil
+}
+
+// buildCFDFlux: per element, loop over its four neighbors; interior faces
+// (nb >= 0) exchange density flux, far-field faces (nb == -1) use free-stream
+// values, wall faces (nb == -2) contribute pressure only. This keeps the
+// original's loop + three-way boundary conditional (the divergence source).
+func buildCFDFlux(scale int) (*Instance, error) {
+	nelr := cfdSize(scale)
+	varBase := 0                      // density plane only, simplified state
+	nbBase := nelr                    // neighbor indices, nelr x 4
+	normBase := nbBase + cfdNNB*nelr  // face normal magnitudes, nelr x 4
+	outBase := normBase + cfdNNB*nelr // flux output
+	global := make([]uint32, outBase+nelr)
+	r := newRNG(41)
+	for i := 0; i < nelr; i++ {
+		global[varBase+i] = kir.F32(r.f32Range(0.5, 2))
+	}
+	for i := 0; i < nelr; i++ {
+		for j := 0; j < cfdNNB; j++ {
+			// ~70% interior, 15% far field, 15% wall.
+			roll := r.intn(100)
+			var nb int32
+			switch {
+			case roll < 70:
+				nb = int32(r.intn(nelr))
+			case roll < 85:
+				nb = -1
+			default:
+				nb = -2
+			}
+			global[nbBase+j*nelr+i] = uint32(nb)
+			global[normBase+j*nelr+i] = kir.F32(r.f32Range(0.1, 1))
+		}
+	}
+	const ffDensity = float32(1.4)
+
+	b := kir.NewBuilder("cfd.compute_flux")
+	b.SetParams(5) // nelr, varBase, nbBase, normBase, outBase
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	interior := b.NewBlock("interior")
+	boundary := b.NewBlock("boundary")
+	farfield := b.NewBlock("farfield")
+	wall := b.NewBlock("wall")
+	latch := b.NewBlock("latch")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	nelrR := b.Param(0)
+	density := b.Load(b.Add(b.Param(1), tid), 0)
+	flux := b.Mov(b.ConstF(0))
+	j := b.Const(0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	off := b.Add(b.Mul(j, nelrR), tid)
+	nb := b.Load(b.Add(b.Param(2), off), 0)
+	norm := b.Load(b.Add(b.Param(3), off), 0)
+	isInterior := b.SetLE(b.Const(0), nb)
+	b.Branch(isInterior, interior, boundary)
+
+	b.SetBlock(interior)
+	dnb := b.Load(b.Add(b.Param(1), nb), 0)
+	contrib := b.FMul(norm, b.FMul(b.ConstF(0.5), b.FAdd(density, dnb)))
+	b.MovTo(flux, b.FAdd(flux, contrib))
+	b.Jump(latch)
+
+	b.SetBlock(boundary)
+	isFar := b.SetEQ(nb, b.Const(-1))
+	b.Branch(isFar, farfield, wall)
+
+	b.SetBlock(farfield)
+	ffContrib := b.FMul(norm, b.FMul(b.ConstF(0.5), b.FAdd(density, b.ConstF(ffDensity))))
+	b.MovTo(flux, b.FAdd(flux, ffContrib))
+	b.Jump(latch)
+
+	b.SetBlock(wall)
+	// Wall: pressure-like reflective contribution.
+	b.MovTo(flux, b.FAdd(flux, b.FMul(norm, density)))
+	b.Jump(latch)
+
+	b.SetBlock(latch)
+	j1 := b.AddI(j, 1)
+	b.MovTo(j, j1)
+	b.Branch(b.SetLT(j1, b.Const(cfdNNB)), loop, exit)
+
+	b.SetBlock(exit)
+	b.Store(b.Add(b.Param(4), b.Tid()), 0, flux)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, nelr)
+	for i := 0; i < nelr; i++ {
+		density := kir.AsF32(global[varBase+i])
+		flux := float32(0)
+		for j := 0; j < cfdNNB; j++ {
+			nb := int32(global[nbBase+j*nelr+i])
+			norm := kir.AsF32(global[normBase+j*nelr+i])
+			switch {
+			case nb >= 0:
+				dnb := kir.AsF32(global[varBase+int(nb)])
+				flux = flux + norm*(0.5*(density+dnb))
+			case nb == -1:
+				flux = flux + norm*(0.5*(density+ffDensity))
+			default:
+				flux = flux + norm*density
+			}
+		}
+		want[i] = kir.F32(flux)
+	}
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(nelr/128, 128,
+			uint32(nelr), uint32(varBase), uint32(nbBase), uint32(normBase), uint32(outBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "cfd.flux")
+		},
+	}, nil
+}

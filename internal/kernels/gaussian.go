@@ -1,0 +1,207 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// gaussian ports Rodinia's Gaussian elimination kernels Fan1 and Fan2 for
+// one elimination step t.
+func init() {
+	register(Spec{
+		Name:        "ge.fan1",
+		App:         "GE",
+		Domain:      "Linear Algebra",
+		Description: "Gaussian elimination: multiplier column",
+		PaperBlocks: 2,
+		Class:       Compute,
+		SGMF:        true,
+		Build:       buildFan1,
+	})
+	register(Spec{
+		Name:        "ge.fan2",
+		App:         "GE",
+		Domain:      "Linear Algebra",
+		Description: "Gaussian elimination: submatrix update",
+		PaperBlocks: 5,
+		Class:       Compute,
+		SGMF:        false, // flattened graph exceeds the fabric
+		Build:       buildFan2,
+	})
+}
+
+// geMatrix builds a diagonally dominant size x size matrix (so pivots are
+// well conditioned) plus the multiplier scratch area.
+func geMatrix(scale int) (size int, global []uint32, aBase, mBase, bBase int) {
+	size = 64 * clampScale(scale)
+	aBase = 0
+	mBase = size * size
+	bBase = mBase + size*size
+	global = make([]uint32, bBase+size)
+	r := newRNG(53)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			v := r.f32Range(-1, 1)
+			if i == j {
+				v = r.f32Range(4, 8)
+			}
+			global[aBase+i*size+j] = kir.F32(v)
+		}
+		global[bBase+i] = kir.F32(r.f32Range(-2, 2))
+	}
+	return
+}
+
+// buildFan1: m[(t+1+tid)*size + t] = a[(t+1+tid)*size + t] / a[t*size + t]
+// for tid < size-1-t.
+func buildFan1(scale int) (*Instance, error) {
+	size, global, aBase, mBase, _ := geMatrix(scale)
+	const t = 1 // elimination step being reproduced
+
+	b := kir.NewBuilder("ge.fan1")
+	b.SetParams(4) // size, t, aBase, mBase
+	entry := b.NewBlock("entry")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	sz := b.Param(0)
+	tReg := b.Param(1)
+	limit := b.Sub(b.Sub(sz, b.Const(1)), tReg)
+	b.Branch(b.SetLT(tid, limit), body, exit)
+
+	b.SetBlock(body)
+	row := b.Add(b.Add(tReg, b.Const(1)), tid)
+	elem := b.Add(b.Param(2), b.Add(b.Mul(row, sz), tReg))
+	pivot := b.Load(b.Add(b.Param(2), b.Add(b.Mul(tReg, sz), tReg)), 0)
+	mult := b.FDiv(b.Load(elem, 0), pivot)
+	b.Store(b.Add(b.Param(3), b.Add(b.Mul(row, sz), tReg)), 0, mult)
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, 0, size-1-t)
+	pivotV := kir.AsF32(global[aBase+t*size+t])
+	checkIdx := make([]int, 0, size-1-t)
+	for tid := 0; tid < size-1-t; tid++ {
+		row := t + 1 + tid
+		v := kir.AsF32(global[aBase+row*size+t]) / pivotV
+		want = append(want, kir.F32(v))
+		checkIdx = append(checkIdx, mBase+row*size+t)
+	}
+	ctas := (size - 1 - t + 127) / 128
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(ctas, 128, uint32(size), t, uint32(aBase), uint32(mBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			for i, idx := range checkIdx {
+				if final[idx] != want[i] {
+					return wordMismatch("ge.fan1", i, final[idx], want[i])
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildFan2: 2-D update of the trailing submatrix:
+//
+//	if (x < size-1-t && y < size-t) {
+//	    a[(x+t+1)*size + (y+t)] -= m[(x+t+1)*size + t] * a[t*size + (y+t)]
+//	    if (y == 0) b[x+t+1] -= m[(x+t+1)*size + t] * b[t]
+//	}
+func buildFan2(scale int) (*Instance, error) {
+	size, global, aBase, mBase, bBase := geMatrix(scale)
+	const t = 1
+	// Precompute the multipliers Fan1 would have produced.
+	pivot := kir.AsF32(global[aBase+t*size+t])
+	for row := t + 1; row < size; row++ {
+		global[mBase+row*size+t] = kir.F32(kir.AsF32(global[aBase+row*size+t]) / pivot)
+	}
+
+	b := kir.NewBuilder("ge.fan2")
+	b.SetParams(5) // size, t, aBase, mBase, bBase
+	entry := b.NewBlock("entry")
+	body := b.NewBlock("body")
+	bvec := b.NewBlock("bvec")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	x := b.Add(b.Mul(b.CtaX(), b.NTidX()), b.TidX())
+	y := b.Add(b.Mul(b.CtaY(), b.NTidY()), b.TidY())
+	sz := b.Param(0)
+	tReg := b.Param(1)
+	xOK := b.SetLT(x, b.Sub(b.Sub(sz, b.Const(1)), tReg))
+	yOK := b.SetLT(y, b.Sub(sz, tReg))
+	b.Branch(b.And(xOK, yOK), body, exit)
+
+	b.SetBlock(body)
+	row := b.Add(b.Add(x, tReg), b.Const(1))
+	mult := b.Load(b.Add(b.Param(3), b.Add(b.Mul(row, sz), tReg)), 0)
+	col := b.Add(y, tReg)
+	aIdx := b.Add(b.Param(2), b.Add(b.Mul(row, sz), col))
+	top := b.Load(b.Add(b.Param(2), b.Add(b.Mul(tReg, sz), col)), 0)
+	cur := b.Load(aIdx, 0)
+	b.Store(aIdx, 0, b.FSub(cur, b.FMul(mult, top)))
+	b.Branch(b.SetEQ(y, b.Const(0)), bvec, exit)
+
+	b.SetBlock(bvec)
+	bIdx := b.Add(b.Param(4), row)
+	bTop := b.Load(b.Add(b.Param(4), tReg), 0)
+	bCur := b.Load(bIdx, 0)
+	b.Store(bIdx, 0, b.FSub(bCur, b.FMul(mult, bTop)))
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference on copies.
+	wantA := make([]float32, size*size)
+	for i := range wantA {
+		wantA[i] = kir.AsF32(global[aBase+i])
+	}
+	wantB := make([]float32, size)
+	for i := range wantB {
+		wantB[i] = kir.AsF32(global[bBase+i])
+	}
+	for x := 0; x < size-1-t; x++ {
+		row := x + t + 1
+		mult := kir.AsF32(global[mBase+row*size+t])
+		for y := 0; y < size-t; y++ {
+			col := y + t
+			wantA[row*size+col] = wantA[row*size+col] - mult*kir.AsF32(global[aBase+t*size+col])
+		}
+		wantB[row] = wantB[row] - mult*kir.AsF32(global[bBase+t])
+	}
+
+	const bx, by = 16, 16
+	gx := (size - 1 - t + bx - 1) / bx
+	gy := (size - t + by - 1) / by
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch{GridX: gx, GridY: gy, BlockX: bx, BlockY: by,
+			Params: []uint32{uint32(size), t, uint32(aBase), uint32(mBase), uint32(bBase)}},
+		Global: global,
+		Check: func(final []uint32) error {
+			for i, w := range wantA {
+				if final[aBase+i] != kir.F32(w) {
+					return wordMismatch("ge.fan2.a", i, final[aBase+i], kir.F32(w))
+				}
+			}
+			for i, w := range wantB {
+				if final[bBase+i] != kir.F32(w) {
+					return wordMismatch("ge.fan2.b", i, final[bBase+i], kir.F32(w))
+				}
+			}
+			return nil
+		},
+	}, nil
+}

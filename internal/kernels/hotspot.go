@@ -1,0 +1,141 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// hotspot ports Rodinia's thermal simulation stencil: one Jacobi step of
+//
+//	out = t + cap*(power + (n+s-2t)*Ry + (e+w-2t)*Rx + (amb-t)*Rz)
+//
+// Each CTA stages its 16x16 temperature tile in shared memory (as the
+// original's pyramid kernel does) and synchronizes before computing. Like
+// the original, boundary handling clamps the neighbor *indices* arithmetically
+// (min/max) instead of branching; neighbors that fall outside the tile are
+// fetched from global memory (the original re-reads halo cells, too).
+const (
+	hsTile = 16
+	hsRx   = float32(0.1)
+	hsRy   = float32(0.12)
+	hsRz   = float32(0.05)
+	hsCap  = float32(0.5)
+	hsAmb  = float32(80.0)
+)
+
+func init() {
+	register(Spec{
+		Name:        "hotspot.kernel",
+		App:         "HOTSPOT",
+		Domain:      "Physics Simulation",
+		Description: "Thermal simulation stencil (shared-memory tiles)",
+		PaperBlocks: 27,
+		Class:       Compute,
+		SGMF:        false, // barriers
+		Build:       buildHotspot,
+	})
+}
+
+func buildHotspot(scale int) (*Instance, error) {
+	side := hsTile * 4 * clampScale(scale) // chip side in cells
+	n := side * side
+	tempBase := 0
+	powerBase := n
+	outBase := 2 * n
+	global := make([]uint32, 3*n)
+	r := newRNG(113)
+	for i := 0; i < n; i++ {
+		global[tempBase+i] = kir.F32(r.f32Range(320, 340))
+		global[powerBase+i] = kir.F32(r.f32Range(0, 1))
+	}
+
+	b := kir.NewBuilder("hotspot.kernel")
+	b.SetParams(4) // side, tempBase, powerBase, outBase
+	b.SetShared(hsTile * hsTile)
+
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	tx := b.TidX()
+	ty := b.TidY()
+	x := b.Add(b.Mul(b.CtaX(), b.Const(hsTile)), tx)
+	y := b.Add(b.Mul(b.CtaY(), b.Const(hsTile)), ty)
+	side4 := b.Param(0)
+	idx := b.Add(b.Mul(y, side4), x)
+	b.StoreSh(b.Add(b.Mul(ty, b.Const(hsTile)), tx), 0, b.Load(b.Add(b.Param(1), idx), 0))
+
+	compute := b.NewBlock("compute")
+	b.MarkBarrier(compute)
+	b.Jump(compute)
+
+	b.SetBlock(compute)
+	tx2 := b.TidX()
+	ty2 := b.TidY()
+	x2 := b.Add(b.Mul(b.CtaX(), b.Const(hsTile)), tx2)
+	y2 := b.Add(b.Mul(b.CtaY(), b.Const(hsTile)), ty2)
+	side2 := b.Param(0)
+	idx2 := b.Add(b.Mul(y2, side2), x2)
+	tC := b.LoadSh(b.Add(b.Mul(ty2, b.Const(hsTile)), tx2), 0)
+	p := b.Load(b.Add(b.Param(2), idx2), 0)
+
+	// Clamped neighbor indices (min/max arithmetic, like the original).
+	zero := b.Const(0)
+	last := b.Sub(side2, b.Const(1))
+	yN := b.Max(b.Sub(y2, b.Const(1)), zero)
+	yS := b.Min(b.Add(y2, b.Const(1)), last)
+	xW := b.Max(b.Sub(x2, b.Const(1)), zero)
+	xE := b.Min(b.Add(x2, b.Const(1)), last)
+	tBase := b.Param(1)
+	nV := b.Load(b.Add(tBase, b.Add(b.Mul(yN, side2), x2)), 0)
+	sV := b.Load(b.Add(tBase, b.Add(b.Mul(yS, side2), x2)), 0)
+	wV := b.Load(b.Add(tBase, b.Add(b.Mul(y2, side2), xW)), 0)
+	eV := b.Load(b.Add(tBase, b.Add(b.Mul(y2, side2), xE)), 0)
+
+	two := b.ConstF(2)
+	dv := b.FAdd(p,
+		b.FAdd(
+			b.FAdd(
+				b.FMul(b.FSub(b.FAdd(nV, sV), b.FMul(two, tC)), b.ConstF(hsRy)),
+				b.FMul(b.FSub(b.FAdd(eV, wV), b.FMul(two, tC)), b.ConstF(hsRx))),
+			b.FMul(b.FSub(b.ConstF(hsAmb), tC), b.ConstF(hsRz))))
+	out := b.FAdd(tC, b.FMul(b.ConstF(hsCap), dv))
+	b.Store(b.Add(b.Param(3), idx2), 0, out)
+	b.Ret()
+
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference (clamped indices, same float32 order).
+	temp := func(y, x int) float32 { return kir.AsF32(global[tempBase+y*side+x]) }
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > side-1 {
+			return side - 1
+		}
+		return v
+	}
+	want := make([]uint32, n)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			tC := temp(y, x)
+			nV := temp(clamp(y-1), x)
+			sV := temp(clamp(y+1), x)
+			wV := temp(y, clamp(x-1))
+			eV := temp(y, clamp(x+1))
+			p := kir.AsF32(global[powerBase+y*side+x])
+			dv := p + (((nV+sV)-2*tC)*hsRy + ((eV+wV)-2*tC)*hsRx + (hsAmb-tC)*hsRz)
+			want[y*side+x] = kir.F32(tC + hsCap*dv)
+		}
+	}
+
+	tiles := side / hsTile
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch{GridX: tiles, GridY: tiles, BlockX: hsTile, BlockY: hsTile,
+			Params: []uint32{uint32(side), uint32(tempBase), uint32(powerBase), uint32(outBase)}},
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "hotspot.out")
+		},
+	}, nil
+}

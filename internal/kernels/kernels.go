@@ -1,0 +1,143 @@
+// Package kernels ports the Rodinia benchmark kernels of Table 2 to the
+// kernel IR. Each workload bundles an IR builder, a deterministic synthetic
+// input generator, a launch configuration, and a host-side Go reference used
+// to validate every simulator's output.
+//
+// The CUDA sources these follow are the Rodinia 2.x kernels named in the
+// paper; the ports keep the control-flow structure (and hence basic-block
+// shape) of the originals while scaling inputs to laptop size.
+package kernels
+
+import (
+	"fmt"
+
+	"vgiw/internal/kir"
+)
+
+// Class coarsely characterizes a kernel for reporting (§5 divides kernels
+// into computational and memory-bound categories; CFD's time_step is the
+// pure-copy outlier).
+type Class string
+
+const (
+	Compute Class = "compute"
+	Memory  Class = "memory"
+	Copy    Class = "copy"
+)
+
+// Spec describes one benchmark kernel.
+type Spec struct {
+	Name        string // registry key, e.g. "bfs.kernel1"
+	App         string // application (Table 2), e.g. "BFS"
+	Domain      string // application domain (Table 2)
+	Description string
+	PaperBlocks int   // basic-block count reported in Table 2
+	Class       Class // performance class
+	SGMF        bool  // expected to map onto the SGMF fabric
+
+	// Build creates a fresh instance at the given scale (1 = default).
+	Build func(scale int) (*Instance, error)
+}
+
+// Instance is one runnable workload: kernel + launch + initial memory +
+// validation. Build a fresh instance per machine — compilation reorders
+// blocks in place and machines mutate Global.
+type Instance struct {
+	Kernel *kir.Kernel
+	Launch kir.Launch
+	Global []uint32
+
+	// Check validates the final global memory against the host reference.
+	Check func(final []uint32) error
+}
+
+// registry is populated by the per-kernel files' init functions.
+var registry []Spec
+
+func register(s Spec) { registry = append(registry, s) }
+
+// All returns the benchmark registry in Table 2 order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists all registry keys.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// rng is a small deterministic xorshift32 generator so inputs are
+// reproducible without external dependencies.
+type rng uint32
+
+func newRNG(seed uint32) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B9
+	}
+	r := rng(seed)
+	return &r
+}
+
+func (r *rng) next() uint32 {
+	x := uint32(*r)
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*r = rng(x)
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint32(n)) }
+
+// f32 returns a float in [0, 1).
+func (r *rng) f32() float32 { return float32(r.next()%(1<<20)) / float32(1<<20) }
+
+// f32Range returns a float in [lo, hi).
+func (r *rng) f32Range(lo, hi float32) float32 { return lo + (hi-lo)*r.f32() }
+
+// expectWords checks the final memory region against expected values with
+// exact bit equality (the references mirror the IR's float32 operation
+// order, so results match bit for bit).
+func expectWords(final []uint32, base int, want []uint32, what string) error {
+	for i, w := range want {
+		if final[base+i] != w {
+			return fmt.Errorf("%s[%d] = %#x (%v), want %#x (%v)",
+				what, i, final[base+i], kir.AsF32(final[base+i]), w, kir.AsF32(w))
+		}
+	}
+	return nil
+}
+
+// clampScale normalizes the user-provided scale factor.
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	if scale > 64 {
+		return 64
+	}
+	return scale
+}
+
+// wordMismatch formats a single-word validation failure.
+func wordMismatch(what string, i int, got, want uint32) error {
+	return fmt.Errorf("%s[%d] = %#x (%v), want %#x (%v)",
+		what, i, got, kir.AsF32(got), want, kir.AsF32(want))
+}

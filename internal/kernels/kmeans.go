@@ -1,0 +1,82 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// kmeans is Rodinia's `invert_mapping` kernel: transpose the feature matrix
+// from point-major to feature-major layout.
+//
+//	if (point_id < npoints)
+//	    for (i = 0; i < nfeatures; i++)
+//	        output[point_id + npoints*i] = input[point_id*nfeatures + i]
+func init() {
+	register(Spec{
+		Name:        "kmeans.invert_mapping",
+		App:         "KMEANS",
+		Domain:      "Data Mining",
+		Description: "Clustering algorithm (feature matrix transpose)",
+		PaperBlocks: 3,
+		Class:       Memory,
+		SGMF:        false, // data-dependent loop over features
+		Build:       buildKmeans,
+	})
+}
+
+func buildKmeans(scale int) (*Instance, error) {
+	scale = clampScale(scale)
+	npoints := 1024 * scale
+	const nfeatures = 8
+	const blockX = 128
+	inBase, outBase := 0, npoints*nfeatures
+	r := newRNG(11)
+	global := make([]uint32, 2*npoints*nfeatures)
+	for i := 0; i < npoints*nfeatures; i++ {
+		global[i] = kir.F32(r.f32Range(-4, 4))
+	}
+
+	b := kir.NewBuilder("kmeans.invert_mapping")
+	b.SetParams(4) // npoints, nfeatures, inBase, outBase
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	np := b.Param(0)
+	guard := b.SetLT(tid, np)
+	i := b.Const(0)
+	b.Branch(guard, loop, exit)
+
+	b.SetBlock(loop)
+	// input index: tid*nfeatures + i; output index: i*npoints + tid.
+	inAddr := b.Add(b.Param(2), b.Add(b.Mul(tid, b.Param(1)), i))
+	v := b.Load(inAddr, 0)
+	outAddr := b.Add(b.Param(3), b.Add(b.Mul(i, np), tid))
+	b.Store(outAddr, 0, v)
+	i1 := b.AddI(i, 1)
+	b.MovTo(i, i1)
+	b.Branch(b.SetLT(i1, b.Param(1)), loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, npoints*nfeatures)
+	for p := 0; p < npoints; p++ {
+		for f := 0; f < nfeatures; f++ {
+			want[f*npoints+p] = global[p*nfeatures+f]
+		}
+	}
+
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(npoints/blockX, blockX,
+			uint32(npoints), nfeatures, uint32(inBase), uint32(outBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "kmeans.out")
+		},
+	}, nil
+}

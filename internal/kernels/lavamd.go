@@ -1,0 +1,149 @@
+package kernels
+
+import (
+	"math"
+
+	"vgiw/internal/kir"
+)
+
+// lavamd ports Rodinia's molecular-dynamics kernel: particles interact with
+// every particle in their own and neighboring boxes through an exponential
+// potential. Boxes are arranged in 1-D here (the original uses a 3-D lattice
+// with up to 26 neighbors); each thread owns one particle and accumulates
+//
+//	v += q_j * exp(-a2 * r2(i,j))
+//
+// over the particles j of boxes {home-1, home, home+1} (clamped at the chip
+// edge). The nested loops plus edge conditionals mirror the original's
+// control structure, and exp exercises the special compute units.
+const (
+	mdPerBox = 16
+	mdA2     = float32(0.5)
+)
+
+func init() {
+	register(Spec{
+		Name:        "lavamd.kernel",
+		App:         "LAVAMD",
+		Domain:      "Molecular Dynamics",
+		Description: "Particle potential over neighboring boxes",
+		PaperBlocks: 21,
+		Class:       Compute,
+		SGMF:        false, // nested data-dependent loops
+		Build:       buildLavaMD,
+	})
+}
+
+func buildLavaMD(scale int) (*Instance, error) {
+	boxes := 64 * clampScale(scale)
+	n := boxes * mdPerBox
+	posBase := 0 // x,y,z interleaved (3 words per particle)
+	qBase := 3 * n
+	outBase := qBase + n
+	global := make([]uint32, outBase+n)
+	r := newRNG(127)
+	for i := 0; i < n; i++ {
+		global[posBase+3*i+0] = kir.F32(r.f32Range(0, 4))
+		global[posBase+3*i+1] = kir.F32(r.f32Range(0, 4))
+		global[posBase+3*i+2] = kir.F32(r.f32Range(0, 4))
+		global[qBase+i] = kir.F32(r.f32Range(0.1, 1))
+	}
+
+	b := kir.NewBuilder("lavamd.kernel")
+	b.SetParams(5) // boxes, posBase, qBase, outBase, perBox
+	entry := b.NewBlock("entry")
+	oloop := b.NewBlock("oloop")
+	inbounds := b.NewBlock("inbounds")
+	iloop := b.NewBlock("iloop")
+	ilatch := b.NewBlock("ilatch")
+	olatch := b.NewBlock("olatch")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	perBox := b.Param(4)
+	home := b.Div(tid, perBox)
+	xi := b.Load(b.Add(b.Param(1), b.MulI(tid, 3)), 0)
+	yi := b.Load(b.Add(b.Param(1), b.MulI(tid, 3)), 1)
+	zi := b.Load(b.Add(b.Param(1), b.MulI(tid, 3)), 2)
+	v := b.Mov(b.ConstF(0))
+	k0 := b.Const(-1) // neighbor offset -1..1
+	b.Jump(oloop)
+
+	b.SetBlock(oloop)
+	nb := b.Add(home, k0)
+	lo := b.SetLE(b.Const(0), nb)
+	hi := b.SetLT(nb, b.Param(0))
+	b.Branch(b.And(lo, hi), inbounds, olatch)
+
+	b.SetBlock(inbounds)
+	j := b.Mov(b.Mul(nb, perBox)) // first particle of the neighbor box
+	jEnd := b.Add(j, perBox)
+	b.Jump(iloop)
+
+	b.SetBlock(iloop)
+	xj := b.Load(b.Add(b.Param(1), b.MulI(j, 3)), 0)
+	yj := b.Load(b.Add(b.Param(1), b.MulI(j, 3)), 1)
+	zj := b.Load(b.Add(b.Param(1), b.MulI(j, 3)), 2)
+	dx := b.FSub(xi, xj)
+	dy := b.FSub(yi, yj)
+	dz := b.FSub(zi, zj)
+	r2 := b.FAdd(b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy)), b.FMul(dz, dz))
+	qj := b.Load(b.Add(b.Param(2), j), 0)
+	contrib := b.FMul(qj, b.FExp(b.FNeg(b.FMul(b.ConstF(mdA2), r2))))
+	b.MovTo(v, b.FAdd(v, contrib))
+	b.Jump(ilatch)
+
+	b.SetBlock(ilatch)
+	j1 := b.AddI(j, 1)
+	b.MovTo(j, j1)
+	b.Branch(b.SetLT(j1, jEnd), iloop, olatch)
+
+	b.SetBlock(olatch)
+	k1 := b.AddI(k0, 1)
+	b.MovTo(k0, k1)
+	b.Branch(b.SetLE(k1, b.Const(1)), oloop, exit)
+
+	b.SetBlock(exit)
+	b.Store(b.Add(b.Param(3), b.Tid()), 0, v)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		home := i / mdPerBox
+		xi := kir.AsF32(global[posBase+3*i])
+		yi := kir.AsF32(global[posBase+3*i+1])
+		zi := kir.AsF32(global[posBase+3*i+2])
+		v := float32(0)
+		for k0 := -1; k0 <= 1; k0++ {
+			nb := home + k0
+			if nb < 0 || nb >= boxes {
+				continue
+			}
+			for j := nb * mdPerBox; j < (nb+1)*mdPerBox; j++ {
+				dx := xi - kir.AsF32(global[posBase+3*j])
+				dy := yi - kir.AsF32(global[posBase+3*j+1])
+				dz := zi - kir.AsF32(global[posBase+3*j+2])
+				r2 := (dx*dx + dy*dy) + dz*dz
+				qj := kir.AsF32(global[qBase+j])
+				v = v + qj*float32(math.Exp(float64(-(mdA2*r2))))
+			}
+		}
+		want[i] = kir.F32(v)
+	}
+
+	const blockX = mdPerBox * 8 // 8 boxes per CTA
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(n/blockX, blockX,
+			uint32(boxes), uint32(posBase), uint32(qBase), uint32(outBase), mdPerBox),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, outBase, want, "lavamd.v")
+		},
+	}, nil
+}

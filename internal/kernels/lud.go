@@ -1,0 +1,542 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// lud ports Rodinia's blocked LU decomposition kernels for one elimination
+// step. The matrix is split into 16x16 tiles:
+//
+//	lud_diagonal  — factorize a diagonal tile in shared memory (batched:
+//	                one CTA per diagonal tile, as independent subproblems);
+//	lud_perimeter — update the step's row tiles (forward substitution with
+//	                the unit-lower factor) and column tiles (solve against
+//	                the upper factor);
+//	lud_internal  — rank-BLOCK update of the trailing tiles.
+const ludB = 16 // tile side (BLOCK_SIZE)
+
+func init() {
+	register(Spec{
+		Name:        "lud.diagonal",
+		App:         "LUD",
+		Domain:      "Linear Algebra",
+		Description: "LU decomposition: diagonal tile factorization",
+		PaperBlocks: 11,
+		Class:       Compute,
+		SGMF:        false,
+		Build:       buildLUDDiagonal,
+	})
+	register(Spec{
+		Name:        "lud.perimeter",
+		App:         "LUD",
+		Domain:      "Linear Algebra",
+		Description: "LU decomposition: perimeter tile updates",
+		PaperBlocks: 22,
+		Class:       Compute,
+		SGMF:        false,
+		Build:       buildLUDPerimeter,
+	})
+	register(Spec{
+		Name:        "lud.internal",
+		App:         "LUD",
+		Domain:      "Linear Algebra",
+		Description: "LU decomposition: interior tile update",
+		PaperBlocks: 3,
+		Class:       Compute,
+		SGMF:        false,
+		Build:       buildLUDInternal,
+	})
+}
+
+// ludMatrix builds a well-conditioned matrix (diagonally dominant).
+func ludMatrix(scale int) (dim int, global []uint32) {
+	dim = 64 * clampScale(scale)
+	global = make([]uint32, dim*dim)
+	r := newRNG(131)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			v := r.f32Range(-1, 1)
+			if i == j {
+				v = r.f32Range(8, 16)
+			}
+			global[i*dim+j] = kir.F32(v)
+		}
+	}
+	return
+}
+
+// buildLUDDiagonal: one CTA of ludB threads factorizes each diagonal tile
+// in shared memory (load loop, the two-phase elimination loop with barriers,
+// write-back loop — the structure that gives the original 11 blocks).
+func buildLUDDiagonal(scale int) (*Instance, error) {
+	dim, global := ludMatrix(scale)
+	tiles := dim / ludB
+
+	b := kir.NewBuilder("lud.diagonal")
+	b.SetParams(1) // dim
+	b.SetShared(ludB * ludB)
+
+	entry := b.NewBlock("entry")
+	loadLoop := b.NewBlock("load_loop")
+	p1check := b.NewBlock("p1_check")
+	p1init := b.NewBlock("p1_init")
+	p1loop := b.NewBlock("p1_loop")
+	p1post := b.NewBlock("p1_post")
+	p2pre := b.NewBlock("p2_pre")
+	p2init := b.NewBlock("p2_init")
+	p2loop := b.NewBlock("p2_loop")
+	p2post := b.NewBlock("p2_post")
+	latch := b.NewBlock("latch")
+	wbPre := b.NewBlock("wb_pre")
+	wbLoop := b.NewBlock("wb_loop")
+	exit := b.NewBlock("exit")
+	b.MarkBarrier(p1check)
+	b.MarkBarrier(p2pre)
+	b.MarkBarrier(latch)
+	b.MarkBarrier(wbPre)
+
+	dimOf := func() kir.Reg { return b.Param(0) }
+	// Tile origin in the matrix: offset = cta*ludB*(dim+1).
+	origin := func() kir.Reg {
+		off := b.Mul(b.CtaX(), b.Const(ludB))
+		return b.Add(b.Mul(off, dimOf()), off)
+	}
+
+	b.SetBlock(entry)
+	tx := b.TidX()
+	i := b.Const(0)
+	b.Jump(loadLoop)
+
+	b.SetBlock(loadLoop)
+	addr := b.Add(origin(), b.Add(b.Mul(i, dimOf()), tx))
+	b.StoreSh(b.Add(b.MulI(i, ludB), tx), 0, b.Load(addr, 0))
+	i1 := b.AddI(i, 1)
+	b.MovTo(i, i1)
+	ii := b.Mov(b.Const(0)) // elimination index, defined before the barrier
+	b.Branch(b.SetLT(i1, b.Const(ludB)), loadLoop, p1check)
+
+	// Phase 1: shadow[tx][ii] -= sum_j shadow[tx][j]*shadow[j][ii]; /= pivot.
+	b.SetBlock(p1check)
+	b.Branch(b.SetLT(ii, b.TidX()), p1init, p2pre)
+
+	b.SetBlock(p1init)
+	acc := b.Mov(b.LoadSh(b.Add(b.MulI(b.TidX(), ludB), ii), 0))
+	j := b.Mov(b.Const(0))
+	b.Branch(b.SetLT(j, ii), p1loop, p1post)
+
+	b.SetBlock(p1loop)
+	a1 := b.LoadSh(b.Add(b.MulI(b.TidX(), ludB), j), 0)
+	b1 := b.LoadSh(b.Add(b.MulI(j, ludB), ii), 0)
+	b.MovTo(acc, b.FSub(acc, b.FMul(a1, b1)))
+	j1 := b.AddI(j, 1)
+	b.MovTo(j, j1)
+	b.Branch(b.SetLT(j1, ii), p1loop, p1post)
+
+	b.SetBlock(p1post)
+	pivot := b.LoadSh(b.Add(b.MulI(ii, ludB), ii), 0)
+	b.StoreSh(b.Add(b.MulI(b.TidX(), ludB), ii), 0, b.FDiv(acc, pivot))
+	b.Jump(p2pre)
+
+	// Phase 2: shadow[ii+1][tx] -= sum_{j<=ii} shadow[ii+1][j]*shadow[j][tx].
+	b.SetBlock(p2pre)
+	b.Branch(b.SetLT(ii, b.TidX()), p2init, latch)
+
+	b.SetBlock(p2init)
+	row := b.AddI(ii, 1)
+	acc2 := b.Mov(b.LoadSh(b.Add(b.MulI(row, ludB), b.TidX()), 0))
+	j2 := b.Mov(b.Const(0))
+	b.Branch(b.SetLE(j2, ii), p2loop, p2post)
+
+	b.SetBlock(p2loop)
+	a2 := b.LoadSh(b.Add(b.MulI(b.AddI(ii, 1), ludB), j2), 0)
+	b2 := b.LoadSh(b.Add(b.MulI(j2, ludB), b.TidX()), 0)
+	b.MovTo(acc2, b.FSub(acc2, b.FMul(a2, b2)))
+	j3 := b.AddI(j2, 1)
+	b.MovTo(j2, j3)
+	b.Branch(b.SetLE(j3, ii), p2loop, p2post)
+
+	b.SetBlock(p2post)
+	b.StoreSh(b.Add(b.MulI(b.AddI(ii, 1), ludB), b.TidX()), 0, acc2)
+	b.Jump(latch)
+
+	b.SetBlock(latch)
+	ii1 := b.AddI(ii, 1)
+	b.MovTo(ii, ii1)
+	b.Branch(b.SetLT(ii1, b.Const(ludB-1)), p1check, wbPre)
+
+	// Write back rows 1..B-1 (row 0 is unchanged).
+	b.SetBlock(wbPre)
+	w := b.Mov(b.Const(1))
+	b.Jump(wbLoop)
+
+	b.SetBlock(wbLoop)
+	wAddr := b.Add(origin(), b.Add(b.Mul(w, dimOf()), b.TidX()))
+	b.Store(wAddr, 0, b.LoadSh(b.Add(b.MulI(w, ludB), b.TidX()), 0))
+	w1 := b.AddI(w, 1)
+	b.MovTo(w, w1)
+	b.Branch(b.SetLT(w1, b.Const(ludB)), wbLoop, exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference: factorize each diagonal tile with the same phase
+	// structure and float32 operation order.
+	want := make([]uint32, len(global))
+	copy(want, global)
+	for t := 0; t < tiles; t++ {
+		sh := make([]float32, ludB*ludB)
+		for r0 := 0; r0 < ludB; r0++ {
+			for c := 0; c < ludB; c++ {
+				sh[r0*ludB+c] = kir.AsF32(global[(t*ludB+r0)*dim+t*ludB+c])
+			}
+		}
+		for ii := 0; ii < ludB-1; ii++ {
+			for tx := ii + 1; tx < ludB; tx++ {
+				acc := sh[tx*ludB+ii]
+				for j := 0; j < ii; j++ {
+					acc = acc - sh[tx*ludB+j]*sh[j*ludB+ii]
+				}
+				sh[tx*ludB+ii] = acc / sh[ii*ludB+ii]
+			}
+			for tx := ii + 1; tx < ludB; tx++ {
+				acc := sh[(ii+1)*ludB+tx]
+				for j := 0; j <= ii; j++ {
+					acc = acc - sh[(ii+1)*ludB+j]*sh[j*ludB+tx]
+				}
+				sh[(ii+1)*ludB+tx] = acc
+			}
+		}
+		for r0 := 1; r0 < ludB; r0++ {
+			for c := 0; c < ludB; c++ {
+				want[(t*ludB+r0)*dim+t*ludB+c] = kir.F32(sh[r0*ludB+c])
+			}
+		}
+	}
+
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(tiles, ludB, uint32(dim)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, 0, want, "lud.diag")
+		},
+	}, nil
+}
+
+// buildLUDPerimeter: CTAs of 2*ludB threads update row tile (0, cta+1) and
+// column tile (cta+1, 0) for elimination step 0. The diagonal tile is
+// assumed already factorized (the instance pre-factorizes it host-side).
+func buildLUDPerimeter(scale int) (*Instance, error) {
+	dim, global := ludMatrix(scale)
+	tiles := dim / ludB
+	factorizeTile(global, dim, 0)
+
+	b := kir.NewBuilder("lud.perimeter")
+	b.SetParams(1)               // dim
+	b.SetShared(3 * ludB * ludB) // dia | row | col
+
+	entry := b.NewBlock("entry")
+	loadLoop := b.NewBlock("load_loop")
+	split := b.NewBlock("split")
+	rowInit := b.NewBlock("row_init")
+	rowOuter := b.NewBlock("row_outer")
+	rowInner := b.NewBlock("row_inner")
+	rowLatch := b.NewBlock("row_latch")
+	colInit := b.NewBlock("col_init")
+	colOuter := b.NewBlock("col_outer")
+	colInner := b.NewBlock("col_inner")
+	colPost := b.NewBlock("col_post")
+	wbPre := b.NewBlock("wb_pre")
+	wbRow := b.NewBlock("wb_row")
+	wbCol := b.NewBlock("wb_col")
+	exit := b.NewBlock("exit")
+	b.MarkBarrier(split)
+	b.MarkBarrier(wbPre)
+
+	dimOf := func() kir.Reg { return b.Param(0) }
+	// Tile bases: row tile (0, cta+1) at column (cta+1)*B; col tile
+	// (cta+1, 0) at row (cta+1)*B.
+	tileIdx := func() kir.Reg { return b.Mul(b.AddI(b.CtaX(), 1), b.Const(ludB)) }
+
+	const shDia, shRow, shCol = 0, ludB * ludB, 2 * ludB * ludB
+
+	b.SetBlock(entry)
+	tx := b.TidX()
+	idx := b.Rem(tx, b.Const(ludB)) // column within the tile
+	i := b.Const(0)
+	b.Jump(loadLoop)
+
+	// Every thread loads one column of each of the three tiles (the two
+	// half-warps duplicate the diagonal loads, as the original does).
+	b.SetBlock(loadLoop)
+	diaAddr := b.Add(b.Mul(i, dimOf()), idx)
+	b.StoreSh(b.Add(b.MulI(i, ludB), idx), shDia, b.Load(diaAddr, 0))
+	rowAddr := b.Add(b.Mul(i, dimOf()), b.Add(tileIdx(), idx))
+	b.StoreSh(b.Add(b.MulI(i, ludB), idx), shRow, b.Load(rowAddr, 0))
+	colAddr := b.Add(b.Mul(b.Add(tileIdx(), i), dimOf()), idx)
+	b.StoreSh(b.Add(b.MulI(i, ludB), idx), shCol, b.Load(colAddr, 0))
+	i1 := b.AddI(i, 1)
+	b.MovTo(i, i1)
+	b.Branch(b.SetLT(i1, b.Const(ludB)), loadLoop, split)
+
+	b.SetBlock(split)
+	isRowHalf := b.SetLT(b.TidX(), b.Const(ludB))
+	b.Branch(isRowHalf, rowInit, colInit)
+
+	// Row half: forward substitution with unit-lower dia:
+	// for ii=1..B-1: row[ii][idx] -= sum_{j<ii} dia[ii][j]*row[j][idx].
+	b.SetBlock(rowInit)
+	ii := b.Mov(b.Const(1))
+	b.Jump(rowOuter)
+
+	b.SetBlock(rowOuter)
+	accR := b.Mov(b.LoadSh(b.Add(b.MulI(ii, ludB), idx), shRow))
+	jr := b.Mov(b.Const(0))
+	b.Jump(rowInner)
+
+	b.SetBlock(rowInner)
+	d := b.LoadSh(b.Add(b.MulI(ii, ludB), jr), shDia)
+	rv := b.LoadSh(b.Add(b.MulI(jr, ludB), idx), shRow)
+	b.MovTo(accR, b.FSub(accR, b.FMul(d, rv)))
+	jr1 := b.AddI(jr, 1)
+	b.MovTo(jr, jr1)
+	b.Branch(b.SetLT(jr1, ii), rowInner, rowLatch)
+
+	b.SetBlock(rowLatch)
+	b.StoreSh(b.Add(b.MulI(ii, ludB), idx), shRow, accR)
+	ii1 := b.AddI(ii, 1)
+	b.MovTo(ii, ii1)
+	b.Branch(b.SetLT(ii1, b.Const(ludB)), rowOuter, wbPre)
+
+	// Column half: solve against upper dia:
+	// for ii=0..B-1: col[idx][ii] = (col[idx][ii] - sum_{j<ii} col[idx][j]*dia[j][ii]) / dia[ii][ii].
+	b.SetBlock(colInit)
+	cc := b.Mov(b.Const(0))
+	b.Jump(colOuter)
+
+	b.SetBlock(colOuter)
+	accC := b.Mov(b.LoadSh(b.Add(b.MulI(idx, ludB), cc), shCol))
+	jc := b.Mov(b.Const(0))
+	b.Branch(b.SetLT(jc, cc), colInner, colPost)
+
+	b.SetBlock(colInner)
+	cv := b.LoadSh(b.Add(b.MulI(idx, ludB), jc), shCol)
+	dv := b.LoadSh(b.Add(b.MulI(jc, ludB), cc), shDia)
+	b.MovTo(accC, b.FSub(accC, b.FMul(cv, dv)))
+	jc1 := b.AddI(jc, 1)
+	b.MovTo(jc, jc1)
+	b.Branch(b.SetLT(jc1, cc), colInner, colPost)
+
+	b.SetBlock(colPost)
+	pivotC := b.LoadSh(b.Add(b.MulI(cc, ludB), cc), shDia)
+	b.StoreSh(b.Add(b.MulI(idx, ludB), cc), shCol, b.FDiv(accC, pivotC))
+	cc1 := b.AddI(cc, 1)
+	b.MovTo(cc, cc1)
+	b.Branch(b.SetLT(cc1, b.Const(ludB)), colOuter, wbPre)
+
+	// Write back: row half writes the row tile, col half the col tile.
+	b.SetBlock(wbPre)
+	wi := b.Mov(b.Const(0))
+	b.Branch(b.SetLT(b.TidX(), b.Const(ludB)), wbRow, wbCol)
+
+	b.SetBlock(wbRow)
+	rAddr := b.Add(b.Mul(wi, dimOf()), b.Add(tileIdx(), idx))
+	b.Store(rAddr, 0, b.LoadSh(b.Add(b.MulI(wi, ludB), idx), shRow))
+	wi1 := b.AddI(wi, 1)
+	b.MovTo(wi, wi1)
+	b.Branch(b.SetLT(wi1, b.Const(ludB)), wbRow, exit)
+
+	b.SetBlock(wbCol)
+	cAddr := b.Add(b.Mul(b.Add(tileIdx(), wi), dimOf()), idx)
+	b.Store(cAddr, 0, b.LoadSh(b.Add(b.MulI(wi, ludB), idx), shCol))
+	wi2 := b.AddI(wi, 1)
+	b.MovTo(wi, wi2)
+	b.Branch(b.SetLT(wi2, b.Const(ludB)), wbCol, exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := ludPerimeterRef(global, dim)
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(tiles-1, 2*ludB, uint32(dim)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, 0, want, "lud.peri")
+		},
+	}, nil
+}
+
+// factorizeTile LU-factorizes the diagonal tile at step t in place, using
+// the same phase order as the device kernel.
+func factorizeTile(global []uint32, dim, t int) {
+	base := t*ludB*dim + t*ludB
+	at := func(r, c int) float32 { return kir.AsF32(global[base+r*dim+c]) }
+	set := func(r, c int, v float32) { global[base+r*dim+c] = kir.F32(v) }
+	for ii := 0; ii < ludB-1; ii++ {
+		for tx := ii + 1; tx < ludB; tx++ {
+			acc := at(tx, ii)
+			for j := 0; j < ii; j++ {
+				acc = acc - at(tx, j)*at(j, ii)
+			}
+			set(tx, ii, acc/at(ii, ii))
+		}
+		for tx := ii + 1; tx < ludB; tx++ {
+			acc := at(ii+1, tx)
+			for j := 0; j <= ii; j++ {
+				acc = acc - at(ii+1, j)*at(j, tx)
+			}
+			set(ii+1, tx, acc)
+		}
+	}
+}
+
+// ludPerimeterRef computes the expected memory image after the perimeter
+// kernel, mirroring the device arithmetic.
+func ludPerimeterRef(global []uint32, dim int) []uint32 {
+	want := make([]uint32, len(global))
+	copy(want, global)
+	tiles := dim / ludB
+	dia := func(r, c int) float32 { return kir.AsF32(global[r*dim+c]) }
+	for tI := 1; tI < tiles; tI++ {
+		colBase := tI * ludB
+		// Row tile (0, tI): forward substitution.
+		row := make([]float32, ludB*ludB)
+		for r := 0; r < ludB; r++ {
+			for c := 0; c < ludB; c++ {
+				row[r*ludB+c] = kir.AsF32(global[r*dim+colBase+c])
+			}
+		}
+		for ii := 1; ii < ludB; ii++ {
+			for idx := 0; idx < ludB; idx++ {
+				acc := row[ii*ludB+idx]
+				for j := 0; j < ii; j++ {
+					acc = acc - dia(ii, j)*row[j*ludB+idx]
+				}
+				row[ii*ludB+idx] = acc
+			}
+		}
+		for r := 0; r < ludB; r++ {
+			for c := 0; c < ludB; c++ {
+				want[r*dim+colBase+c] = kir.F32(row[r*ludB+c])
+			}
+		}
+		// Col tile (tI, 0): solve against the upper factor. In the device
+		// kernel, thread idx owns *row* idx of the tile (col[idx][cc]).
+		col := make([]float32, ludB*ludB)
+		for r := 0; r < ludB; r++ {
+			for c := 0; c < ludB; c++ {
+				col[r*ludB+c] = kir.AsF32(global[(colBase+r)*dim+c])
+			}
+		}
+		for idx := 0; idx < ludB; idx++ {
+			for cc := 0; cc < ludB; cc++ {
+				acc := col[idx*ludB+cc]
+				for j := 0; j < cc; j++ {
+					acc = acc - col[idx*ludB+j]*dia(j, cc)
+				}
+				col[idx*ludB+cc] = acc / dia(cc, cc)
+			}
+		}
+		for r := 0; r < ludB; r++ {
+			for c := 0; c < ludB; c++ {
+				want[(colBase+r)*dim+c] = kir.F32(col[r*ludB+c])
+			}
+		}
+	}
+	return want
+}
+
+// buildLUDInternal: 16x16 CTAs update the trailing tiles:
+// a[i][j] -= sum_k col[ty][k] * row[k][tx].
+func buildLUDInternal(scale int) (*Instance, error) {
+	dim, global := ludMatrix(scale)
+	tiles := dim / ludB
+	factorizeTile(global, dim, 0)
+	perim := ludPerimeterRef(global, dim)
+	copy(global, perim) // internal runs after the perimeter kernel
+
+	b := kir.NewBuilder("lud.internal")
+	b.SetParams(1)               // dim
+	b.SetShared(2 * ludB * ludB) // col strip | row strip
+
+	const shCol, shRow = 0, ludB * ludB
+	entry := b.NewBlock("entry")
+	sumLoop := b.NewBlock("sum_loop")
+	writeout := b.NewBlock("writeout")
+	b.MarkBarrier(sumLoop)
+
+	dimOf := func() kir.Reg { return b.Param(0) }
+
+	b.SetBlock(entry)
+	tx := b.TidX()
+	ty := b.TidY()
+	tileX := b.Mul(b.AddI(b.CtaX(), 1), b.Const(ludB))
+	tileY := b.Mul(b.AddI(b.CtaY(), 1), b.Const(ludB))
+	// Column strip element: a[tileY+ty][tx]; row strip: a[ty][tileX+tx].
+	b.StoreSh(b.Add(b.MulI(ty, ludB), tx), shCol,
+		b.Load(b.Add(b.Mul(b.Add(tileY, ty), dimOf()), tx), 0))
+	b.StoreSh(b.Add(b.MulI(ty, ludB), tx), shRow,
+		b.Load(b.Add(b.Mul(ty, dimOf()), b.Add(tileX, tx)), 0))
+	kk := b.Mov(b.Const(0))
+	sum := b.Mov(b.ConstF(0))
+	b.Jump(sumLoop)
+
+	b.SetBlock(sumLoop)
+	cv := b.LoadSh(b.Add(b.MulI(b.TidY(), ludB), kk), shCol)
+	rv := b.LoadSh(b.Add(b.MulI(kk, ludB), b.TidX()), shRow)
+	b.MovTo(sum, b.FAdd(sum, b.FMul(cv, rv)))
+	kk1 := b.AddI(kk, 1)
+	b.MovTo(kk, kk1)
+	b.Branch(b.SetLT(kk1, b.Const(ludB)), sumLoop, writeout)
+
+	b.SetBlock(writeout)
+	tileX2 := b.Mul(b.AddI(b.CtaX(), 1), b.Const(ludB))
+	tileY2 := b.Mul(b.AddI(b.CtaY(), 1), b.Const(ludB))
+	addr := b.Add(b.Mul(b.Add(tileY2, b.TidY()), dimOf()), b.Add(tileX2, b.TidX()))
+	b.Store(addr, 0, b.FSub(b.Load(addr, 0), sum))
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, len(global))
+	copy(want, global)
+	for tY := 1; tY < tiles; tY++ {
+		for tX := 1; tX < tiles; tX++ {
+			for ty := 0; ty < ludB; ty++ {
+				for tx := 0; tx < ludB; tx++ {
+					sum := float32(0)
+					for kk := 0; kk < ludB; kk++ {
+						cv := kir.AsF32(global[(tY*ludB+ty)*dim+kk])
+						rv := kir.AsF32(global[ty2row(kk)*dim+tX*ludB+tx])
+						sum = sum + cv*rv
+					}
+					idx := (tY*ludB+ty)*dim + tX*ludB + tx
+					want[idx] = kir.F32(kir.AsF32(global[idx]) - sum)
+				}
+			}
+		}
+	}
+
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch{GridX: tiles - 1, GridY: tiles - 1, BlockX: ludB, BlockY: ludB,
+			Params: []uint32{uint32(dim)}},
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, 0, want, "lud.internal")
+		},
+	}, nil
+}
+
+// ty2row exists to keep the reference loop symmetric with the shared-memory
+// indexing above (row strip rows are the first ludB matrix rows).
+func ty2row(k int) int { return k }

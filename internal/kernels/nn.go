@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"math"
+
+	"vgiw/internal/kir"
+)
+
+// nn is Rodinia's k-nearest-neighbors `euclid` kernel: each thread computes
+// the Euclidean distance from one record's (lat, lng) to the query point.
+//
+//	if (gid < n) d[gid] = sqrt((lat-lat0)^2 + (lng-lng0)^2)
+func init() {
+	register(Spec{
+		Name:        "nn.euclid",
+		App:         "NN",
+		Domain:      "Data Mining",
+		Description: "K nearest neighbors distance computation",
+		PaperBlocks: 2,
+		Class:       Compute,
+		SGMF:        true,
+		Build:       buildNN,
+	})
+}
+
+func buildNN(scale int) (*Instance, error) {
+	scale = clampScale(scale)
+	n := 2048 * scale
+	const blockX = 128
+	// Memory layout: [0,2n) interleaved lat/lng pairs; [2n,3n) distances.
+	locBase, distBase := 0, 2*n
+	r := newRNG(7)
+	global := make([]uint32, 3*n)
+	for i := 0; i < n; i++ {
+		global[2*i] = kir.F32(r.f32Range(25, 50))      // lat
+		global[2*i+1] = kir.F32(r.f32Range(-130, -60)) // lng
+	}
+	lat0, lng0 := float32(37.33), float32(-121.88)
+
+	b := kir.NewBuilder("nn.euclid")
+	b.SetParams(5) // n, lat0, lng0, locBase, distBase
+	entry := b.NewBlock("entry")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	inRange := b.SetLT(tid, b.Param(0))
+	b.Branch(inRange, body, exit)
+
+	b.SetBlock(body)
+	loc := b.Add(b.Param(3), b.MulI(b.Tid(), 2))
+	lat := b.Load(loc, 0)
+	lng := b.Load(loc, 1)
+	dlat := b.FSub(lat, b.Param(1))
+	dlng := b.FSub(lng, b.Param(2))
+	d := b.FSqrt(b.FAdd(b.FMul(dlat, dlat), b.FMul(dlng, dlng)))
+	b.Store(b.Add(b.Param(4), b.Tid()), 0, d)
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host reference, mirroring the IR's float32 operation order.
+	want := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		lat := kir.AsF32(global[2*i])
+		lng := kir.AsF32(global[2*i+1])
+		dlat, dlng := lat-lat0, lng-lng0
+		d := float32(math.Sqrt(float64(dlat*dlat + dlng*dlng)))
+		want[i] = kir.F32(d)
+	}
+
+	ctas := (n + blockX - 1) / blockX
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(ctas, blockX,
+			uint32(n), kir.F32(lat0), kir.F32(lng0), uint32(locBase), uint32(distBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, distBase, want, "nn.dist")
+		},
+	}, nil
+}

@@ -1,0 +1,292 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// nw ports Rodinia's Needleman-Wunsch sequence alignment kernels. The score
+// matrix is (n+1)x(n+1) int32; cell (y,x) depends on its NW, W and N
+// neighbors:
+//
+//	score[y][x] = max(score[y-1][x-1] + ref[y][x],
+//	                  score[y][x-1] - penalty,
+//	                  score[y-1][x] - penalty)
+//
+// Tiles on one anti-diagonal are independent; each CTA processes one 16x16
+// tile in shared memory, sweeping the tile's anti-diagonals with a barrier
+// per step. needle1 runs the longest ascending tile-diagonal and needle2 the
+// first descending one (the original's two kernels cover exactly these two
+// phases).
+const (
+	nwB       = 16
+	nwPenalty = 10
+)
+
+func init() {
+	register(Spec{
+		Name:        "nw.needle1",
+		App:         "NW",
+		Domain:      "Bioinformatics",
+		Description: "Sequence alignment: ascending tile diagonal",
+		PaperBlocks: 13,
+		Class:       Compute,
+		SGMF:        false,
+		Build:       func(scale int) (*Instance, error) { return buildNW(scale, false) },
+	})
+	register(Spec{
+		Name:        "nw.needle2",
+		App:         "NW",
+		Domain:      "Bioinformatics",
+		Description: "Sequence alignment: descending tile diagonal",
+		PaperBlocks: 13,
+		Class:       Compute,
+		SGMF:        false,
+		Build:       func(scale int) (*Instance, error) { return buildNW(scale, true) },
+	})
+}
+
+func buildNW(scale int, descending bool) (*Instance, error) {
+	n := nwB * 8 * clampScale(scale) // sequence length
+	dim := n + 1
+	tiles := n / nwB
+	scoreBase := 0
+	refBase := dim * dim
+	global := make([]uint32, refBase+dim*dim)
+	r := newRNG(139)
+
+	// Reference (substitution) matrix and DP initialization.
+	ref := make([]int32, dim*dim)
+	for y := 1; y < dim; y++ {
+		for x := 1; x < dim; x++ {
+			ref[y*dim+x] = int32(r.intn(21) - 10)
+			global[refBase+y*dim+x] = uint32(ref[y*dim+x])
+		}
+	}
+	full := make([]int32, dim*dim)
+	for x := 0; x < dim; x++ {
+		full[x] = int32(-x * nwPenalty)
+	}
+	for y := 0; y < dim; y++ {
+		full[y*dim] = int32(-y * nwPenalty)
+	}
+	max3 := func(a, b, c int32) int32 {
+		m := a
+		if b > m {
+			m = b
+		}
+		if c > m {
+			m = c
+		}
+		return m
+	}
+	for y := 1; y < dim; y++ {
+		for x := 1; x < dim; x++ {
+			full[y*dim+x] = max3(full[(y-1)*dim+x-1]+ref[y*dim+x],
+				full[y*dim+x-1]-nwPenalty, full[(y-1)*dim+x]-nwPenalty)
+		}
+	}
+
+	// Which tile diagonal does this kernel compute? Ascending phase ends at
+	// diagonal tiles-1 (tiles CTAs); descending starts at diagonal tiles
+	// (tiles-1 CTAs). Tile (tiY, tiX) covers score rows/cols
+	// [ti*16+1, ti*16+16].
+	diag := tiles - 1
+	ctas := tiles
+	if descending {
+		diag = tiles
+		ctas = tiles - 1
+	}
+	// Seed the score matrix: everything from the full solution except the
+	// interiors of the target tiles, which the kernel must produce.
+	inTarget := func(y, x int) bool {
+		if y == 0 || x == 0 {
+			return false
+		}
+		tY, tX := (y-1)/nwB, (x-1)/nwB
+		return tY+tX == diag && tY < tiles && tX < tiles &&
+			(!descending && tY <= diag || descending && tY >= diag-tiles+1)
+	}
+	for y := 0; y < dim; y++ {
+		for x := 0; x < dim; x++ {
+			if inTarget(y, x) {
+				global[scoreBase+y*dim+x] = 0
+			} else {
+				global[scoreBase+y*dim+x] = uint32(full[y*dim+x])
+			}
+		}
+	}
+
+	b := kir.NewBuilder("nw.needle")
+	b.SetParams(4) // dim, scoreBase, refBase, tileYBase (tileY = tileYBase + ctaX)
+	// Shared: temp (17x17) then ref tile (16x16).
+	const shTemp = 0
+	const shRef = 17 * 17
+	b.SetShared(17*17 + nwB*nwB)
+
+	entry := b.NewBlock("entry")
+	refLoop := b.NewBlock("ref_loop")
+	d1head := b.NewBlock("d1_head")
+	d1comp := b.NewBlock("d1_comp")
+	d1w := b.NewBlock("d1_w")
+	d1n := b.NewBlock("d1_ncheck")
+	d1nset := b.NewBlock("d1_nset")
+	d1store := b.NewBlock("d1_store")
+	d1latch := b.NewBlock("d1_latch")
+	d2head := b.NewBlock("d2_head")
+	d2comp := b.NewBlock("d2_comp")
+	d2w := b.NewBlock("d2_w")
+	d2n := b.NewBlock("d2_ncheck")
+	d2nset := b.NewBlock("d2_nset")
+	d2store := b.NewBlock("d2_store")
+	d2latch := b.NewBlock("d2_latch")
+	wbLoop := b.NewBlock("wb_loop")
+	exit := b.NewBlock("exit")
+	b.MarkBarrier(d1head)
+	b.MarkBarrier(d2head)
+	b.MarkBarrier(wbLoop)
+
+	dimOf := func() kir.Reg { return b.Param(0) }
+	tileY := func() kir.Reg { return b.Add(b.Param(3), b.CtaX()) }
+	tileX := func() kir.Reg { return b.Sub(b.Const(int32(diag)), tileY()) }
+	// Tile origin cell (row tileY*16, col tileX*16) — the halo corner.
+	origin := func() kir.Reg {
+		row := b.Mul(tileY(), b.Const(nwB))
+		col := b.Mul(tileX(), b.Const(nwB))
+		return b.Add(b.Add(b.Param(1), b.Mul(row, dimOf())), col)
+	}
+
+	b.SetBlock(entry)
+	tx := b.TidX()
+	// Halo: temp[0][tx+1] = north row; temp[tx+1][0] = west col;
+	// thread 0 also loads the corner.
+	b.StoreSh(b.AddI(tx, 1), shTemp, b.Load(b.Add(origin(), b.AddI(tx, 1)), 0))
+	b.StoreSh(b.MulI(b.AddI(tx, 1), 17), shTemp,
+		b.Load(b.Add(origin(), b.Mul(b.AddI(tx, 1), dimOf())), 0))
+	b.StoreSh(b.Const(0), shTemp, b.Load(origin(), 0))
+	ri := b.Mov(b.Const(0))
+	b.Jump(refLoop)
+
+	b.SetBlock(refLoop)
+	// ref tile row ri: global cell (tileY*16+ri+1, tileX*16+tx+1).
+	refAddr := b.Add(b.Sub(origin(), b.Param(1)), b.Add(b.Param(2),
+		b.Add(b.Mul(b.AddI(ri, 1), dimOf()), b.AddI(b.TidX(), 1))))
+	b.StoreSh(b.Add(b.MulI(ri, nwB), b.TidX()), shRef, b.Load(refAddr, 0))
+	ri1 := b.AddI(ri, 1)
+	b.MovTo(ri, ri1)
+	m := b.Mov(b.Const(0))
+	best := b.Mov(b.Const(0))
+	b.Branch(b.SetLT(ri1, b.Const(nwB)), refLoop, d1head)
+
+	// Phase 1: ascending anti-diagonals (m = 0..15); thread tx computes
+	// in-tile cell (y0, x0) = (m-tx, tx) when tx <= m.
+	b.SetBlock(d1head)
+	b.Branch(b.SetLE(b.TidX(), m), d1comp, d1latch)
+
+	b.SetBlock(d1comp)
+	x0 := b.TidX()
+	y0 := b.Sub(m, b.TidX())
+	// temp coords are +1.
+	nwV := b.LoadSh(b.Add(b.MulI(y0, 17), x0), shTemp)
+	wV := b.LoadSh(b.Add(b.MulI(b.AddI(y0, 1), 17), x0), shTemp)
+	nV := b.LoadSh(b.Add(b.MulI(y0, 17), b.AddI(x0, 1)), shTemp)
+	rV := b.LoadSh(b.Add(b.MulI(y0, nwB), x0), shRef)
+	b.MovTo(best, b.Add(nwV, rV))
+	wCand := b.Sub(wV, b.Const(nwPenalty))
+	b.Branch(b.SetLT(best, wCand), d1w, d1n)
+
+	b.SetBlock(d1w)
+	b.MovTo(best, wCand)
+	b.Jump(d1n)
+
+	b.SetBlock(d1n)
+	nCand := b.Sub(nV, b.Const(nwPenalty))
+	b.Branch(b.SetLT(best, nCand), d1nset, d1store)
+
+	b.SetBlock(d1nset)
+	b.MovTo(best, nCand)
+	b.Jump(d1store)
+
+	b.SetBlock(d1store)
+	b.StoreSh(b.Add(b.MulI(b.AddI(y0, 1), 17), b.AddI(x0, 1)), shTemp, best)
+	b.Jump(d1latch)
+
+	b.SetBlock(d1latch)
+	m1 := b.AddI(m, 1)
+	b.MovTo(m, m1)
+	m2 := b.Mov(b.Const(nwB - 2)) // phase-2 index, counts down
+	b.Branch(b.SetLT(m1, b.Const(nwB)), d1head, d2head)
+
+	// Phase 2: descending anti-diagonals (m2 = 14..0); thread tx <= m2
+	// computes (y0, x0) = (15-m2+tx, 15-tx).
+	b.SetBlock(d2head)
+	b.Branch(b.SetLE(b.TidX(), m2), d2comp, d2latch)
+
+	b.SetBlock(d2comp)
+	x2 := b.Sub(b.Const(nwB-1), b.TidX())
+	y2 := b.Add(b.Sub(b.Const(nwB-1), m2), b.TidX())
+	nwV2 := b.LoadSh(b.Add(b.MulI(y2, 17), x2), shTemp)
+	wV2 := b.LoadSh(b.Add(b.MulI(b.AddI(y2, 1), 17), x2), shTemp)
+	nV2 := b.LoadSh(b.Add(b.MulI(y2, 17), b.AddI(x2, 1)), shTemp)
+	rV2 := b.LoadSh(b.Add(b.MulI(y2, nwB), x2), shRef)
+	b.MovTo(best, b.Add(nwV2, rV2))
+	wCand2 := b.Sub(wV2, b.Const(nwPenalty))
+	b.Branch(b.SetLT(best, wCand2), d2w, d2n)
+
+	b.SetBlock(d2w)
+	b.MovTo(best, wCand2)
+	b.Jump(d2n)
+
+	b.SetBlock(d2n)
+	nCand2 := b.Sub(nV2, b.Const(nwPenalty))
+	b.Branch(b.SetLT(best, nCand2), d2nset, d2store)
+
+	b.SetBlock(d2nset)
+	b.MovTo(best, nCand2)
+	b.Jump(d2store)
+
+	b.SetBlock(d2store)
+	b.StoreSh(b.Add(b.MulI(b.AddI(y2, 1), 17), b.AddI(x2, 1)), shTemp, best)
+	b.Jump(d2latch)
+
+	b.SetBlock(d2latch)
+	m3 := b.AddI(m2, -1)
+	b.MovTo(m2, m3)
+	wr := b.Mov(b.Const(0))
+	b.Branch(b.SetLE(b.Const(0), m3), d2head, wbLoop)
+
+	// Write back the tile interior: row wr, column tx.
+	b.SetBlock(wbLoop)
+	dst := b.Add(origin(), b.Add(b.Mul(b.AddI(wr, 1), dimOf()), b.AddI(b.TidX(), 1)))
+	b.Store(dst, 0, b.LoadSh(b.Add(b.MulI(b.AddI(wr, 1), 17), b.AddI(b.TidX(), 1)), shTemp))
+	wr1 := b.AddI(wr, 1)
+	b.MovTo(wr, wr1)
+	b.Branch(b.SetLT(wr1, b.Const(nwB)), wbLoop, exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, dim*dim)
+	for y := 0; y < dim; y++ {
+		for x := 0; x < dim; x++ {
+			want[y*dim+x] = uint32(full[y*dim+x])
+		}
+	}
+	// Cells outside the target tiles keep their seeded values (identical to
+	// full), so comparing the whole matrix against `full` is exact.
+
+	tileYBase := 0
+	if descending {
+		tileYBase = diag - tiles + 1
+	}
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(ctas, nwB,
+			uint32(dim), uint32(scoreBase), uint32(refBase), uint32(tileYBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			return expectWords(final, scoreBase, want, "nw.score")
+		},
+	}, nil
+}

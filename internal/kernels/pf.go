@@ -1,0 +1,92 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// pf ports Rodinia particlefilter's normalize_weights kernel: every particle
+// divides its weight by the global sum (computed by an earlier reduction and
+// passed in partial_sums[0]), and thread 0 seeds the resampling offset u[0].
+func init() {
+	register(Spec{
+		Name:        "pf.normalize_weights",
+		App:         "PF",
+		Domain:      "Medical Imaging",
+		Description: "Particle filter: weight normalization",
+		PaperBlocks: 5,
+		Class:       Compute,
+		SGMF:        true,
+		Build:       buildPF,
+	})
+}
+
+func buildPF(scale int) (*Instance, error) {
+	n := 4096 * clampScale(scale)
+	weightBase := 0
+	sumAddr := n
+	uAddr := n + 1
+	global := make([]uint32, n+2)
+	r := newRNG(71)
+	var sum float32
+	// Mirror a host-side partial-sum reduction: accumulate in input order.
+	for i := 0; i < n; i++ {
+		w := r.f32Range(0.1, 2)
+		global[weightBase+i] = kir.F32(w)
+		sum = sum + w
+	}
+	global[sumAddr] = kir.F32(sum)
+
+	b := kir.NewBuilder("pf.normalize_weights")
+	b.SetParams(4) // n, weightBase, sumAddr, uAddr
+	entry := b.NewBlock("entry")
+	norm := b.NewBlock("norm")
+	seed := b.NewBlock("seed")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	b.Branch(b.SetLT(tid, b.Param(0)), norm, exit)
+
+	b.SetBlock(norm)
+	addr := b.Add(b.Param(1), b.Tid())
+	w := b.Load(addr, 0)
+	total := b.Load(b.Param(2), 0)
+	b.Store(addr, 0, b.FDiv(w, total))
+	b.Branch(b.SetEQ(b.Tid(), b.Const(0)), seed, exit)
+
+	b.SetBlock(seed)
+	// u[0] = (1/N) * u1, with u1 a fixed uniform draw (the original uses a
+	// device-side RNG; we pin the draw so results are reproducible).
+	u1 := b.ConstF(0.5)
+	invN := b.FDiv(b.ConstF(1), b.I2F(b.Param(0)))
+	b.Store(b.Param(3), 0, b.FMul(invN, u1))
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	want := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		want[i] = kir.F32(kir.AsF32(global[i]) / sum)
+	}
+	wantU := kir.F32((1 / float32(n)) * 0.5)
+
+	const blockX = 256
+	return &Instance{
+		Kernel: k,
+		Launch: kir.Launch1D(n/blockX, blockX,
+			uint32(n), uint32(weightBase), uint32(sumAddr), uint32(uAddr)),
+		Global: global,
+		Check: func(final []uint32) error {
+			if err := expectWords(final, weightBase, want, "pf.weights"); err != nil {
+				return err
+			}
+			if final[uAddr] != wantU {
+				return wordMismatch("pf.u", 0, final[uAddr], wantU)
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import "vgiw/internal/kir"
+
+// sm ports streamcluster's compute_cost kernel: every point scans the
+// candidate centers, computes a weighted squared Euclidean distance in
+// `dims` dimensions, and records the cheapest assignment.
+func init() {
+	register(Spec{
+		Name:        "sm.compute_cost",
+		App:         "SM",
+		Domain:      "Data Mining",
+		Description: "Streamcluster: assignment cost over candidate centers",
+		PaperBlocks: 6,
+		Class:       Compute,
+		SGMF:        false, // loop over centers
+		Build:       buildSM,
+	})
+}
+
+func buildSM(scale int) (*Instance, error) {
+	n := 1024 * clampScale(scale)
+	const dims = 4
+	const k = 8
+	ptBase := 0
+	wtBase := ptBase + n*dims
+	ctrBase := wtBase + n
+	costBase := ctrBase + k*dims
+	assignBase := costBase + n
+	global := make([]uint32, assignBase+n)
+	r := newRNG(83)
+	for i := 0; i < n*dims; i++ {
+		global[ptBase+i] = kir.F32(r.f32Range(-8, 8))
+	}
+	for i := 0; i < n; i++ {
+		global[wtBase+i] = kir.F32(r.f32Range(0.5, 1.5))
+	}
+	for i := 0; i < k*dims; i++ {
+		global[ctrBase+i] = kir.F32(r.f32Range(-8, 8))
+	}
+
+	b := kir.NewBuilder("sm.compute_cost")
+	b.SetParams(7) // n, k, ptBase, wtBase, ctrBase, costBase, assignBase
+	entry := b.NewBlock("entry")
+	loop := b.NewBlock("loop")
+	better := b.NewBlock("better")
+	latch := b.NewBlock("latch")
+	writeout := b.NewBlock("writeout")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	tid := b.Tid()
+	guard := b.SetLT(tid, b.Param(0))
+	pt := b.Add(b.Param(2), b.MulI(tid, dims))
+	weight := b.Load(b.Add(b.Param(3), tid), 0)
+	best := b.Mov(b.ConstF(3.4e38))
+	bestIdx := b.Mov(b.Const(-1))
+	c := b.Const(0)
+	b.Branch(guard, loop, exit)
+
+	b.SetBlock(loop)
+	ctr := b.Add(b.Param(4), b.MulI(c, dims))
+	// Distance accumulates dimension by dimension (unrolled like the
+	// original's inner loop with a compile-time dim count).
+	dist := b.ConstF(0)
+	for d := int32(0); d < dims; d++ {
+		diff := b.FSub(b.Load(pt, d), b.Load(ctr, d))
+		dist = b.FAdd(dist, b.FMul(diff, diff))
+	}
+	cost := b.FMul(weight, dist)
+	b.Branch(b.FSetLT(cost, best), better, latch)
+
+	b.SetBlock(better)
+	b.MovTo(best, cost)
+	b.MovTo(bestIdx, c)
+	b.Jump(latch)
+
+	b.SetBlock(latch)
+	c1 := b.AddI(c, 1)
+	b.MovTo(c, c1)
+	b.Branch(b.SetLT(c1, b.Param(1)), loop, writeout)
+
+	b.SetBlock(writeout)
+	b.Store(b.Add(b.Param(5), b.Tid()), 0, best)
+	b.Store(b.Add(b.Param(6), b.Tid()), 0, bestIdx)
+	b.Jump(exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+	kern, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	wantCost := make([]uint32, n)
+	wantIdx := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		weight := kir.AsF32(global[wtBase+i])
+		best := float32(3.4e38)
+		bestIdx := int32(-1)
+		for c := 0; c < k; c++ {
+			dist := float32(0)
+			for d := 0; d < dims; d++ {
+				diff := kir.AsF32(global[ptBase+i*dims+d]) - kir.AsF32(global[ctrBase+c*dims+d])
+				dist = dist + diff*diff
+			}
+			cost := weight * dist
+			if cost < best {
+				best, bestIdx = cost, int32(c)
+			}
+		}
+		wantCost[i] = kir.F32(best)
+		wantIdx[i] = uint32(bestIdx)
+	}
+
+	const blockX = 128
+	return &Instance{
+		Kernel: kern,
+		Launch: kir.Launch1D(n/blockX, blockX,
+			uint32(n), k, uint32(ptBase), uint32(wtBase), uint32(ctrBase),
+			uint32(costBase), uint32(assignBase)),
+		Global: global,
+		Check: func(final []uint32) error {
+			if err := expectWords(final, costBase, wantCost, "sm.cost"); err != nil {
+				return err
+			}
+			return expectWords(final, assignBase, wantIdx, "sm.assign")
+		},
+	}, nil
+}

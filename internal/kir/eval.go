@@ -1,0 +1,146 @@
+package kir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eval computes the result of a pure (non-memory, non-geometry) opcode on
+// 32-bit operands. It is the single functional-semantics definition shared by
+// all three simulators, so that VGIW, the SIMT baseline, and SGMF cannot
+// disagree on arithmetic.
+func Eval(op Op, a, b, c uint32, imm int32) uint32 {
+	switch op {
+	case OpConst:
+		return uint32(imm)
+	case OpMov:
+		return a
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return uint32(sdiv(int32(a), int32(b)))
+	case OpRem:
+		return uint32(srem(int32(a), int32(b)))
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNot:
+		return ^a
+	case OpShl:
+		return a << (b & 31)
+	case OpShrL:
+		return a >> (b & 31)
+	case OpShrA:
+		return uint32(int32(a) >> (b & 31))
+	case OpMin:
+		if int32(a) < int32(b) {
+			return a
+		}
+		return b
+	case OpMax:
+		if int32(a) > int32(b) {
+			return a
+		}
+		return b
+	case OpSetEQ:
+		return boolWord(a == b)
+	case OpSetNE:
+		return boolWord(a != b)
+	case OpSetLT:
+		return boolWord(int32(a) < int32(b))
+	case OpSetLE:
+		return boolWord(int32(a) <= int32(b))
+	case OpSetLTU:
+		return boolWord(a < b)
+	case OpSetLEU:
+		return boolWord(a <= b)
+	case OpFAdd:
+		return f(fv(a) + fv(b))
+	case OpFSub:
+		return f(fv(a) - fv(b))
+	case OpFMul:
+		return f(fv(a) * fv(b))
+	case OpFDiv:
+		return f(fv(a) / fv(b))
+	case OpFSqrt:
+		return f(float32(math.Sqrt(float64(fv(a)))))
+	case OpFExp:
+		return f(float32(math.Exp(float64(fv(a)))))
+	case OpFLog:
+		return f(float32(math.Log(float64(fv(a)))))
+	case OpFNeg:
+		return f(-fv(a))
+	case OpFAbs:
+		return f(float32(math.Abs(float64(fv(a)))))
+	case OpFMin:
+		return f(float32(math.Min(float64(fv(a)), float64(fv(b)))))
+	case OpFMax:
+		return f(float32(math.Max(float64(fv(a)), float64(fv(b)))))
+	case OpFFloor:
+		return f(float32(math.Floor(float64(fv(a)))))
+	case OpFSetEQ:
+		return boolWord(fv(a) == fv(b))
+	case OpFSetNE:
+		return boolWord(fv(a) != fv(b))
+	case OpFSetLT:
+		return boolWord(fv(a) < fv(b))
+	case OpFSetLE:
+		return boolWord(fv(a) <= fv(b))
+	case OpI2F:
+		return f(float32(int32(a)))
+	case OpF2I:
+		return uint32(int32(fv(a)))
+	case OpSelect:
+		if a != 0 {
+			return b
+		}
+		return c
+	}
+	panic(fmt.Sprintf("kir: Eval called with non-pure opcode %v", op))
+}
+
+// sdiv is signed division with GPU-like saturation semantics: division by
+// zero yields -1 (all bits set) and MinInt32/-1 yields MinInt32, so the
+// simulators never fault on degenerate inputs.
+func sdiv(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == math.MinInt32 && b == -1:
+		return math.MinInt32
+	}
+	return a / b
+}
+
+func srem(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt32 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+func boolWord(v bool) uint32 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func fv(bits uint32) float32 { return math.Float32frombits(bits) }
+func f(v float32) uint32     { return math.Float32bits(v) }
+
+// F32 converts a float32 to its register encoding.
+func F32(v float32) uint32 { return math.Float32bits(v) }
+
+// AsF32 converts a register value to float32.
+func AsF32(bits uint32) float32 { return math.Float32frombits(bits) }

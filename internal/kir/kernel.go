@@ -1,0 +1,262 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg identifies a 32-bit virtual register. Registers are kernel-scoped:
+// a register written in one block may be read in another; the compiler turns
+// such cross-block uses into live-value traffic.
+type Reg int32
+
+// NoReg marks an absent operand.
+const NoReg Reg = -1
+
+// Instr is a single (non-terminator) kernel instruction.
+type Instr struct {
+	Op  Op
+	Dst Reg    // NoReg when Op.HasDst() is false
+	Src [3]Reg // unused slots hold NoReg
+	Imm int32  // constant, parameter index, or address offset (in words)
+}
+
+func (in Instr) String() string {
+	var b strings.Builder
+	if in.Op.HasDst() {
+		fmt.Fprintf(&b, "r%d = ", in.Dst)
+	}
+	b.WriteString(in.Op.String())
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		fmt.Fprintf(&b, " r%d", in.Src[i])
+	}
+	switch in.Op {
+	case OpConst, OpParam:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case OpLoad, OpStore, OpLoadSh, OpStoreSh:
+		if in.Imm != 0 {
+			fmt.Fprintf(&b, " +%d", in.Imm)
+		}
+	}
+	return b.String()
+}
+
+// TermKind discriminates block terminators.
+type TermKind uint8
+
+const (
+	TermJump   TermKind = iota // unconditional jump to Then
+	TermBranch                 // if Cond != 0 goto Then else goto Else
+	TermRet                    // thread exits the kernel
+)
+
+// Terminator ends a basic block and transfers control. On the VGIW machine it
+// is executed by the block's terminator CVU, which registers the thread in
+// the control vector table entry of the successor block (§3.5).
+type Terminator struct {
+	Kind TermKind
+	Cond Reg // used by TermBranch
+	Then int // successor block index
+	Else int // successor block index (TermBranch only)
+}
+
+func (t Terminator) String() string {
+	switch t.Kind {
+	case TermJump:
+		return fmt.Sprintf("jmp @%d", t.Then)
+	case TermBranch:
+		return fmt.Sprintf("br r%d @%d @%d", t.Cond, t.Then, t.Else)
+	case TermRet:
+		return "ret"
+	}
+	return fmt.Sprintf("Terminator(%d)", t.Kind)
+}
+
+// Succs returns the successor block indices of the terminator.
+func (t Terminator) Succs() []int {
+	switch t.Kind {
+	case TermJump:
+		return []int{t.Then}
+	case TermBranch:
+		if t.Then == t.Else {
+			return []int{t.Then}
+		}
+		return []int{t.Then, t.Else}
+	}
+	return nil
+}
+
+// Block is a basic block. Its index in Kernel.Blocks is its block ID; block
+// IDs follow the compiler's scheduling order (§3.1): the entry block has the
+// reserved ID 0, and a successor with a smaller ID than its source indicates
+// a loop back edge.
+type Block struct {
+	Label  string // human-readable name ("entry", "loop.body", ...)
+	Instrs []Instr
+	Term   Terminator
+
+	// Barrier marks a __syncthreads boundary: every thread of a CTA must
+	// have completed all predecessor blocks before any thread executes
+	// this block. The VGIW machine satisfies barriers for free because the
+	// entire thread vector drains between blocks; the SIMT baseline
+	// synchronizes the warps of each CTA.
+	Barrier bool
+}
+
+// Kernel is a compiled-from-source compute kernel: a CFG over Blocks with
+// Blocks[0] as the unique entry block.
+type Kernel struct {
+	Name      string
+	Blocks    []*Block
+	NumRegs   int // registers are numbered [0, NumRegs)
+	NumParams int // scalar launch parameters
+	SharedWds int // per-CTA scratchpad size in 32-bit words
+}
+
+// NumInstrs reports the static instruction count (terminators excluded).
+func (k *Kernel) NumInstrs() int {
+	n := 0
+	for _, b := range k.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Validate checks structural invariants: a terminated entry block exists,
+// successor indices are in range, register and parameter references are in
+// range, operand arity matches each opcode, and barriers do not appear on
+// the entry block.
+func (k *Kernel) Validate() error {
+	if len(k.Blocks) == 0 {
+		return fmt.Errorf("kernel %s: no blocks", k.Name)
+	}
+	if k.Blocks[0].Barrier {
+		return fmt.Errorf("kernel %s: entry block cannot carry a barrier", k.Name)
+	}
+	for bi, b := range k.Blocks {
+		for ii, in := range b.Instrs {
+			if err := k.checkInstr(in); err != nil {
+				return fmt.Errorf("kernel %s: block %d (%s) instr %d: %w", k.Name, bi, b.Label, ii, err)
+			}
+		}
+		if err := k.checkTerm(b.Term); err != nil {
+			return fmt.Errorf("kernel %s: block %d (%s): %w", k.Name, bi, b.Label, err)
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) checkReg(r Reg) error {
+	if r < 0 || int(r) >= k.NumRegs {
+		return fmt.Errorf("register r%d out of range [0,%d)", r, k.NumRegs)
+	}
+	return nil
+}
+
+func (k *Kernel) checkInstr(in Instr) error {
+	if in.Op == OpNop || in.Op >= opCount {
+		return fmt.Errorf("invalid opcode %v", in.Op)
+	}
+	if in.Op.HasDst() {
+		if err := k.checkReg(in.Dst); err != nil {
+			return fmt.Errorf("dst: %w", err)
+		}
+	} else if in.Dst != NoReg {
+		return fmt.Errorf("%v must not define a destination", in.Op)
+	}
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		if err := k.checkReg(in.Src[i]); err != nil {
+			return fmt.Errorf("src%d: %w", i, err)
+		}
+	}
+	for i := in.Op.NumSrc(); i < len(in.Src); i++ {
+		if in.Src[i] != NoReg {
+			return fmt.Errorf("%v takes %d sources; src%d set", in.Op, in.Op.NumSrc(), i)
+		}
+	}
+	if in.Op == OpParam && (in.Imm < 0 || int(in.Imm) >= k.NumParams) {
+		return fmt.Errorf("parameter %d out of range [0,%d)", in.Imm, k.NumParams)
+	}
+	if in.Op.IsStore() && in.Src[1] == NoReg {
+		return fmt.Errorf("store missing value operand")
+	}
+	return nil
+}
+
+func (k *Kernel) checkTerm(t Terminator) error {
+	checkTarget := func(idx int) error {
+		if idx < 0 || idx >= len(k.Blocks) {
+			return fmt.Errorf("successor block %d out of range [0,%d)", idx, len(k.Blocks))
+		}
+		return nil
+	}
+	switch t.Kind {
+	case TermJump:
+		return checkTarget(t.Then)
+	case TermBranch:
+		if err := k.checkReg(t.Cond); err != nil {
+			return fmt.Errorf("branch condition: %w", err)
+		}
+		if err := checkTarget(t.Then); err != nil {
+			return err
+		}
+		return checkTarget(t.Else)
+	case TermRet:
+		return nil
+	}
+	return fmt.Errorf("invalid terminator kind %d", t.Kind)
+}
+
+// String renders the kernel in kasm-compatible form.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s params=%d shared=%d\n", k.Name, k.NumParams, k.SharedWds)
+	for bi, blk := range k.Blocks {
+		fmt.Fprintf(&b, "@%d %s:", bi, blk.Label)
+		if blk.Barrier {
+			b.WriteString(" barrier")
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in.String())
+		}
+		fmt.Fprintf(&b, "  %s\n", blk.Term.String())
+	}
+	return b.String()
+}
+
+// HasLoops reports whether any terminator targets a block with an ID not
+// larger than its own (the paper's loop manifestation rule, §3.1). It assumes
+// blocks are in scheduling order, which compile.ScheduleBlocks guarantees.
+func (k *Kernel) HasLoops() bool {
+	for bi, b := range k.Blocks {
+		for _, s := range b.Term.Succs() {
+			if s <= bi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the kernel (blocks, instruction slices, terminators),
+// so compiler passes can speculate on a copy and discard it.
+func (k *Kernel) Clone() *Kernel {
+	nk := &Kernel{
+		Name:      k.Name,
+		NumRegs:   k.NumRegs,
+		NumParams: k.NumParams,
+		SharedWds: k.SharedWds,
+		Blocks:    make([]*Block, len(k.Blocks)),
+	}
+	for i, b := range k.Blocks {
+		nb := &Block{
+			Label:   b.Label,
+			Instrs:  append([]Instr(nil), b.Instrs...),
+			Term:    b.Term,
+			Barrier: b.Barrier,
+		}
+		nk.Blocks[i] = nb
+	}
+	return nk
+}

@@ -1,0 +1,240 @@
+// Package kir defines the kernel intermediate representation consumed by the
+// VGIW compiler and by every simulator in this repository (VGIW, the SIMT
+// baseline, and SGMF).
+//
+// A kernel is a control flow graph of basic blocks. Instructions read and
+// write an unbounded set of 32-bit virtual registers; values that cross
+// basic-block boundaries are later assigned live-value IDs by the compiler
+// (see internal/compile), mirroring §3.1 of the paper. All data is 32 bits
+// wide: integer opcodes interpret register contents as int32/uint32 and
+// floating-point opcodes as IEEE-754 binary32.
+package kir
+
+import "fmt"
+
+// Op enumerates the kernel IR opcodes.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Constants, moves, and kernel inputs.
+	OpConst // Dst = Imm
+	OpMov   // Dst = Src0
+	OpParam // Dst = launch parameter #Imm
+
+	// Thread geometry (CUDA-style coordinates derived from the linear
+	// thread ID and the launch configuration).
+	OpTID   // global linear thread ID
+	OpTIDX  // threadIdx.x
+	OpTIDY  // threadIdx.y
+	OpCTAX  // blockIdx.x
+	OpCTAY  // blockIdx.y
+	OpNTIDX // blockDim.x
+	OpNTIDY // blockDim.y
+	OpNCTAX // gridDim.x
+	OpNCTAY // gridDim.y
+
+	// Integer arithmetic and logic (32-bit).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; non-pipelined (executes on an SCU)
+	OpRem // signed; non-pipelined (executes on an SCU)
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpShl
+	OpShrL // logical shift right
+	OpShrA // arithmetic shift right
+	OpMin  // signed minimum
+	OpMax  // signed maximum
+
+	// Integer comparisons; result is 0 or 1.
+	OpSetEQ
+	OpSetNE
+	OpSetLT // signed
+	OpSetLE // signed
+	OpSetLTU
+	OpSetLEU
+
+	// Floating point (binary32).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv  // non-pipelined (SCU)
+	OpFSqrt // non-pipelined (SCU)
+	OpFExp  // non-pipelined (SCU)
+	OpFLog  // non-pipelined (SCU)
+	OpFNeg
+	OpFAbs
+	OpFMin
+	OpFMax
+	OpFFloor
+
+	// Floating-point comparisons; result is 0 or 1.
+	OpFSetEQ
+	OpFSetNE
+	OpFSetLT
+	OpFSetLE
+
+	// Conversions.
+	OpI2F // int32 -> float32
+	OpF2I // float32 -> int32 (truncating)
+
+	// Select: Dst = Src0 != 0 ? Src1 : Src2.
+	OpSelect
+
+	// Memory. Addresses are in 32-bit words. Effective address is
+	// Src0 + Imm for loads and stores.
+	OpLoad    // Dst = global[Src0+Imm]
+	OpStore   // global[Src0+Imm] = Src1
+	OpLoadSh  // Dst = shared[Src0+Imm] (per-CTA scratchpad)
+	OpStoreSh // shared[Src0+Imm] = Src1
+
+	opCount // sentinel; keep last
+)
+
+// UnitClass categorizes an opcode by the MT-CGRF functional unit that
+// executes it (§3.5). Geometry ops execute on compute units fed by the
+// block's thread-initiator CVU.
+type UnitClass uint8
+
+const (
+	ClassALU  UnitClass = iota // combined FPU-ALU compute unit
+	ClassSCU                   // special compute unit (non-pipelined ops)
+	ClassLDST                  // load/store unit (global + shared memory)
+	ClassLVU                   // live value load/store unit (inserted by the compiler)
+	ClassSJU                   // split/join unit (inserted by the compiler)
+	ClassCVU                   // control vector unit (thread initiator/terminator)
+)
+
+func (c UnitClass) String() string {
+	switch c {
+	case ClassALU:
+		return "ALU"
+	case ClassSCU:
+		return "SCU"
+	case ClassLDST:
+		return "LDST"
+	case ClassLVU:
+		return "LVU"
+	case ClassSJU:
+		return "SJU"
+	case ClassCVU:
+		return "CVU"
+	}
+	return fmt.Sprintf("UnitClass(%d)", uint8(c))
+}
+
+// Class reports the functional-unit class that executes op.
+func (op Op) Class() UnitClass {
+	switch op {
+	case OpDiv, OpRem, OpFDiv, OpFSqrt, OpFExp, OpFLog:
+		return ClassSCU
+	case OpLoad, OpStore, OpLoadSh, OpStoreSh:
+		return ClassLDST
+	default:
+		return ClassALU
+	}
+}
+
+// IsMemory reports whether op accesses memory.
+func (op Op) IsMemory() bool { return op.Class() == ClassLDST }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op == OpStore || op == OpStoreSh }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op == OpLoad || op == OpLoadSh }
+
+// IsShared reports whether op accesses the per-CTA scratchpad.
+func (op Op) IsShared() bool { return op == OpLoadSh || op == OpStoreSh }
+
+// IsGeometry reports whether op produces a thread coordinate. Geometry values
+// are derived from the thread identity injected by the initiator CVU and need
+// no register operands.
+func (op Op) IsGeometry() bool {
+	switch op {
+	case OpTID, OpTIDX, OpTIDY, OpCTAX, OpCTAY, OpNTIDX, OpNTIDY, OpNCTAX, OpNCTAY:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether op interprets its operands as float32.
+func (op Op) IsFloat() bool {
+	switch op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFSqrt, OpFExp, OpFLog, OpFNeg,
+		OpFAbs, OpFMin, OpFMax, OpFFloor, OpFSetEQ, OpFSetNE, OpFSetLT,
+		OpFSetLE, OpF2I:
+		return true
+	}
+	return false
+}
+
+// NumSrc reports how many register source operands op consumes.
+func (op Op) NumSrc() int {
+	switch op {
+	case OpNop, OpConst, OpParam, OpTID, OpTIDX, OpTIDY, OpCTAX, OpCTAY,
+		OpNTIDX, OpNTIDY, OpNCTAX, OpNCTAY:
+		return 0
+	case OpMov, OpNot, OpFNeg, OpFAbs, OpFSqrt, OpFExp, OpFLog, OpFFloor,
+		OpI2F, OpF2I, OpLoad, OpLoadSh:
+		return 1
+	case OpSelect:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// HasDst reports whether op defines a destination register.
+func (op Op) HasDst() bool {
+	switch op {
+	case OpNop, OpStore, OpStoreSh:
+		return false
+	}
+	return true
+}
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov", OpParam: "param",
+	OpTID: "tid", OpTIDX: "tidx", OpTIDY: "tidy", OpCTAX: "ctax",
+	OpCTAY: "ctay", OpNTIDX: "ntidx", OpNTIDY: "ntidy", OpNCTAX: "nctax",
+	OpNCTAY: "nctay",
+	OpAdd:   "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not", OpShl: "shl",
+	OpShrL: "shrl", OpShrA: "shra", OpMin: "min", OpMax: "max",
+	OpSetEQ: "seteq", OpSetNE: "setne", OpSetLT: "setlt", OpSetLE: "setle",
+	OpSetLTU: "setltu", OpSetLEU: "setleu",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFSqrt: "fsqrt", OpFExp: "fexp", OpFLog: "flog", OpFNeg: "fneg",
+	OpFAbs: "fabs", OpFMin: "fmin", OpFMax: "fmax", OpFFloor: "ffloor",
+	OpFSetEQ: "fseteq", OpFSetNE: "fsetne", OpFSetLT: "fsetlt", OpFSetLE: "fsetle",
+	OpI2F: "i2f", OpF2I: "f2i", OpSelect: "select",
+	OpLoad: "ld", OpStore: "st", OpLoadSh: "ldsh", OpStoreSh: "stsh",
+}
+
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// OpByName resolves a mnemonic back to its opcode; it is the inverse of
+// Op.String and is used by the kasm parser.
+func OpByName(name string) (Op, bool) {
+	op, ok := namesToOp[name]
+	return op, ok
+}
+
+var namesToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()

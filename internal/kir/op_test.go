@@ -1,0 +1,191 @@
+package kir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := OpConst; op < opCount; op++ {
+		name := op.String()
+		got, ok := OpByName(name)
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", name)
+		}
+		if got != op {
+			t.Fatalf("OpByName(%q) = %v, want %v", name, got, op)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op    Op
+		class UnitClass
+	}{
+		{OpAdd, ClassALU}, {OpFMul, ClassALU}, {OpSelect, ClassALU},
+		{OpDiv, ClassSCU}, {OpFDiv, ClassSCU}, {OpFSqrt, ClassSCU},
+		{OpFExp, ClassSCU}, {OpFLog, ClassSCU}, {OpRem, ClassSCU},
+		{OpLoad, ClassLDST}, {OpStore, ClassLDST},
+		{OpLoadSh, ClassLDST}, {OpStoreSh, ClassLDST},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.class {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.class)
+		}
+	}
+}
+
+func TestOpArityConsistency(t *testing.T) {
+	for op := OpConst; op < opCount; op++ {
+		n := op.NumSrc()
+		if n < 0 || n > 3 {
+			t.Errorf("%v.NumSrc() = %d out of range", op, n)
+		}
+		if op.IsStore() && op.HasDst() {
+			t.Errorf("%v is a store but has a destination", op)
+		}
+		if op.IsGeometry() && n != 0 {
+			t.Errorf("%v is geometry but takes %d sources", op, n)
+		}
+	}
+}
+
+// u32 reinterprets a signed value as a register word.
+func u32(v int32) uint32 { return uint32(v) }
+
+func TestEvalIntegerOps(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, c uint32
+		imm     int32
+		want    uint32
+	}{
+		{OpConst, 0, 0, 0, -7, 0xFFFFFFF9},
+		{OpMov, 42, 0, 0, 0, 42},
+		{OpAdd, 3, 4, 0, 0, 7},
+		{OpSub, 3, 4, 0, 0, uint32(0xFFFFFFFF)},
+		{OpMul, 6, 7, 0, 0, 42},
+		{OpDiv, u32(-7), 2, 0, 0, u32(-3)},
+		{OpDiv, 5, 0, 0, 0, u32(-1)}, // saturating semantics
+		{OpRem, 7, 3, 0, 0, 1},
+		{OpRem, 7, 0, 0, 0, 7},
+		{OpAnd, 0b1100, 0b1010, 0, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0, 0b0110},
+		{OpNot, 0, 0, 0, 0, 0xFFFFFFFF},
+		{OpShl, 1, 4, 0, 0, 16},
+		{OpShl, 1, 36, 0, 0, 16}, // shift amount masked to 5 bits
+		{OpShrL, 0x80000000, 31, 0, 0, 1},
+		{OpShrA, 0x80000000, 31, 0, 0, 0xFFFFFFFF},
+		{OpMin, u32(-1), 1, 0, 0, u32(-1)},
+		{OpMax, u32(-1), 1, 0, 0, 1},
+		{OpSetEQ, 5, 5, 0, 0, 1},
+		{OpSetNE, 5, 5, 0, 0, 0},
+		{OpSetLT, u32(-2), 1, 0, 0, 1},
+		{OpSetLE, 1, 1, 0, 0, 1},
+		{OpSetLTU, u32(-2), 1, 0, 0, 0}, // unsigned: huge > 1
+		{OpSetLEU, 1, 2, 0, 0, 1},
+		{OpSelect, 1, 10, 20, 0, 10},
+		{OpSelect, 0, 10, 20, 0, 20},
+		{OpI2F, u32(-2), 0, 0, 0, F32(-2)},
+		{OpF2I, F32(3.7), 0, 0, 0, 3},
+	}
+	for _, cse := range cases {
+		if got := Eval(cse.op, cse.a, cse.b, cse.c, cse.imm); got != cse.want {
+			t.Errorf("Eval(%v, %d, %d, %d, %d) = %d, want %d",
+				cse.op, cse.a, cse.b, cse.c, cse.imm, got, cse.want)
+		}
+	}
+}
+
+func TestEvalFloatOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float32
+		want float32
+	}{
+		{OpFAdd, 1.5, 2.25, 3.75},
+		{OpFSub, 1.5, 2.25, -0.75},
+		{OpFMul, 1.5, 2.0, 3.0},
+		{OpFDiv, 3.0, 2.0, 1.5},
+		{OpFSqrt, 9.0, 0, 3.0},
+		{OpFNeg, 1.5, 0, -1.5},
+		{OpFAbs, -1.5, 0, 1.5},
+		{OpFMin, 1.0, -2.0, -2.0},
+		{OpFMax, 1.0, -2.0, 1.0},
+		{OpFFloor, 2.9, 0, 2.0},
+		{OpFFloor, -2.1, 0, -3.0},
+	}
+	for _, cse := range cases {
+		got := AsF32(Eval(cse.op, F32(cse.a), F32(cse.b), 0, 0))
+		if got != cse.want {
+			t.Errorf("Eval(%v, %g, %g) = %g, want %g", cse.op, cse.a, cse.b, got, cse.want)
+		}
+	}
+	if got := AsF32(Eval(OpFExp, F32(1), 0, 0, 0)); math.Abs(float64(got)-math.E) > 1e-6 {
+		t.Errorf("fexp(1) = %g, want e", got)
+	}
+	if got := AsF32(Eval(OpFLog, F32(float32(math.E)), 0, 0, 0)); math.Abs(float64(got)-1) > 1e-6 {
+		t.Errorf("flog(e) = %g, want 1", got)
+	}
+}
+
+func TestEvalFloatComparisons(t *testing.T) {
+	one, two := F32(1), F32(2)
+	if Eval(OpFSetLT, one, two, 0, 0) != 1 || Eval(OpFSetLT, two, one, 0, 0) != 0 {
+		t.Error("fsetlt wrong")
+	}
+	if Eval(OpFSetLE, one, one, 0, 0) != 1 {
+		t.Error("fsetle wrong")
+	}
+	if Eval(OpFSetEQ, one, one, 0, 0) != 1 || Eval(OpFSetEQ, one, two, 0, 0) != 0 {
+		t.Error("fseteq wrong")
+	}
+	if Eval(OpFSetNE, one, two, 0, 0) != 1 {
+		t.Error("fsetne wrong")
+	}
+}
+
+// Property: integer add/sub and xor are self-inverse; select always picks one
+// of its inputs; comparisons are boolean.
+func TestEvalProperties(t *testing.T) {
+	addSub := func(a, b uint32) bool {
+		return Eval(OpSub, Eval(OpAdd, a, b, 0, 0), b, 0, 0) == a
+	}
+	if err := quick.Check(addSub, nil); err != nil {
+		t.Error(err)
+	}
+	xorTwice := func(a, b uint32) bool {
+		return Eval(OpXor, Eval(OpXor, a, b, 0, 0), b, 0, 0) == a
+	}
+	if err := quick.Check(xorTwice, nil); err != nil {
+		t.Error(err)
+	}
+	selPicks := func(c, a, b uint32) bool {
+		got := Eval(OpSelect, c, a, b, 0)
+		return got == a || got == b
+	}
+	if err := quick.Check(selPicks, nil); err != nil {
+		t.Error(err)
+	}
+	cmpBool := func(a, b uint32) bool {
+		for _, op := range []Op{OpSetEQ, OpSetNE, OpSetLT, OpSetLE, OpSetLTU, OpSetLEU} {
+			if v := Eval(op, a, b, 0, 0); v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(cmpBool, nil); err != nil {
+		t.Error(err)
+	}
+	minMax := func(a, b uint32) bool {
+		lo, hi := Eval(OpMin, a, b, 0, 0), Eval(OpMax, a, b, 0, 0)
+		return (lo == a && hi == b) || (lo == b && hi == a)
+	}
+	if err := quick.Check(minMax, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package mem models the GPU memory system of §3.6: a banked L1 cache, a
+// banked L2, and GDDR5-like DRAM, with configurable write policies (VGIW uses
+// write-back + write-allocate L1; the Fermi baseline uses write-through +
+// no-allocate). The model is timing + event-counting only: functional data
+// lives in a flat word-addressed array owned by the simulators.
+package mem
+
+import "fmt"
+
+// WritePolicy selects the cache write behaviour.
+type WritePolicy uint8
+
+const (
+	// WriteBack marks lines dirty and writes them to the next level on
+	// eviction; write misses allocate (fetch-on-write).
+	WriteBack WritePolicy = iota
+	// WriteThrough forwards every write to the next level; write misses do
+	// not allocate.
+	WriteThrough
+)
+
+func (p WritePolicy) String() string {
+	if p == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Banks     int
+	HitLat    int64 // access latency on a hit, in cycles
+	Policy    WritePolicy
+	// CombineWrites extends the MSHR-style merge window to stores: writes
+	// to one line from several units coalesce into a single bank access
+	// (a write-combining buffer). This is the §5 "memory coalescing on
+	// MT-CGRFs" future-work extension; off by default to match the paper.
+	CombineWrites bool
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Validate checks the configuration is internally consistent.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 || c.Banks <= 0 {
+		return fmt.Errorf("mem: cache dimensions must be positive: %+v", c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("mem: cache size %d not divisible by line*ways", c.SizeBytes)
+	}
+	if c.Sets() == 0 {
+		return fmt.Errorf("mem: cache has zero sets: %+v", c)
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadMiss   uint64
+	WriteMiss  uint64
+	Writebacks uint64 // dirty evictions
+	Fills      uint64 // lines brought in
+	Combined   uint64 // reads merged with an in-flight same-line access
+}
+
+// Accesses is the total number of accesses.
+func (s CacheStats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses is the total number of misses.
+func (s CacheStats) Misses() uint64 { return s.ReadMiss + s.WriteMiss }
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a banked, set-associative cache timing model. It tracks presence
+// and dirtiness, not data. Addresses are byte addresses.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]line
+	banks []SlotAlloc
+	// Per-bank recent-access rings, for read combining: concurrent reads of
+	// one line (a broadcast — every thread loading the same table entry, or
+	// the words of one coalesced-range line arriving from several LDST
+	// units) merge into a single bank access, like MSHR merging in a real
+	// cache.
+	recent [][]combineEntry
+	tick   uint64
+	Stats  CacheStats
+}
+
+type combineEntry struct {
+	line  int64
+	start int64
+}
+
+// combineWindow is how close (in cycles) a read must be to an in-flight
+// same-line access to piggyback on it; combineDepth is how many recent
+// accesses each bank remembers (MSHR-merge capacity).
+const (
+	combineWindow = 16
+	combineDepth  = 8
+)
+
+// NewCache builds a cache; the configuration must be valid.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	recent := make([][]combineEntry, cfg.Banks)
+	for i := range recent {
+		recent[i] = make([]combineEntry, 0, combineDepth)
+	}
+	return &Cache{cfg: cfg, sets: sets, banks: make([]SlotAlloc, cfg.Banks), recent: recent}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr maps a byte address to its line address.
+func (c *Cache) LineAddr(addr int64) int64 { return addr / int64(c.cfg.LineBytes) }
+
+// AccessResult describes the outcome of a cache access.
+type AccessResult struct {
+	Hit       bool
+	Ready     int64 // cycle when the bank accepted the request
+	Writeback int64 // line address of a dirty eviction, -1 if none
+	Evicted   bool  // a valid line was displaced (dirty or not)
+}
+
+// Access performs the timing access for one line, selecting the bank by the
+// line address. GPU data caches that serve word-granular requests are
+// word-interleaved across banks; use AccessBanked for those.
+func (c *Cache) Access(lineAddr int64, write bool, now int64) AccessResult {
+	return c.AccessBanked(lineAddr, lineAddr, write, now)
+}
+
+// AccessBanked performs the timing access for one line with an explicit bank
+// selector (callers pass the word address for word-interleaved banking, as
+// in the 32-bank L1 the perimeter LDST/LVU units reach over a crossbar). It
+// accounts bank contention (each bank accepts one request per cycle) and
+// returns whether the line hit, when the bank accepted the request, and
+// whether a dirty eviction must be written to the next level. Fill decisions
+// follow the write policy; the caller orchestrates the next level.
+func (c *Cache) AccessBanked(lineAddr, bankSel int64, write bool, now int64) AccessResult {
+	c.tick++
+	bank := int(bankSel % int64(c.cfg.Banks))
+	set := c.setOf(lineAddr)
+	var start int64
+	combined := false
+	if !write || c.cfg.CombineWrites {
+		for _, e := range c.recent[bank] {
+			if e.line == lineAddr && absDiff(now, e.start) <= combineWindow {
+				// Read combining: ride the in-flight access, no bank slot.
+				start = e.start
+				combined = true
+				c.Stats.Combined++
+				break
+			}
+		}
+	}
+	if !combined {
+		start = c.banks[bank].Alloc(now)
+		r := c.recent[bank]
+		if len(r) == combineDepth {
+			copy(r, r[1:])
+			r = r[:combineDepth-1]
+		}
+		c.recent[bank] = append(r, combineEntry{line: lineAddr, start: start})
+	}
+
+	res := AccessResult{Ready: start, Writeback: -1}
+
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			res.Hit = true
+			ways[i].lru = c.tick
+			if write && c.cfg.Policy == WriteBack {
+				ways[i].dirty = true
+			}
+			return res
+		}
+	}
+
+	// Miss.
+	if write {
+		c.Stats.WriteMiss++
+		if c.cfg.Policy == WriteThrough {
+			// no-allocate: the write just goes to the next level.
+			return res
+		}
+	} else {
+		c.Stats.ReadMiss++
+	}
+
+	// Allocate: pick the LRU victim.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.valid {
+		res.Evicted = true
+		if v.dirty {
+			c.Stats.Writebacks++
+			res.Writeback = v.tag
+		}
+	}
+	c.Stats.Fills++
+	*v = line{tag: lineAddr, valid: true, dirty: write && c.cfg.Policy == WriteBack, lru: c.tick}
+	return res
+}
+
+// setOf maps a line to a set with hashed indexing (upper address bits XORed
+// into the index), dissolving the power-of-two stride aliasing that plain
+// modulo indexing suffers on struct-of-arrays layouts. GPU L1/L2 caches hash
+// their set index the same way. Tags store the full line address.
+func (c *Cache) setOf(lineAddr int64) int {
+	sets := int64(c.cfg.Sets())
+	h := lineAddr ^ (lineAddr / sets) ^ (lineAddr / (sets * sets))
+	h %= sets
+	if h < 0 {
+		h += sets
+	}
+	return int(h)
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Contains reports whether the line is present (no state change); used by
+// tests.
+func (c *Cache) Contains(lineAddr int64) bool {
+	for _, l := range c.sets[c.setOf(lineAddr)] {
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}

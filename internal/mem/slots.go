@@ -1,0 +1,129 @@
+package mem
+
+import "sort"
+
+// SlotAlloc models a fully pipelined unit that accepts one new token set per
+// cycle, with tagged-token out-of-order semantics: a request ready at cycle c
+// takes the smallest *free* cycle >= c, even if later-arriving work already
+// claimed later cycles. This is what lets unblocked threads overtake threads
+// stalled on memory (§3.5) — a simple monotonic next-free counter would
+// serialize everything behind the slowest thread.
+//
+// Busy cycles are kept as disjoint inclusive spans; allocations are mostly
+// sequential, so the span list stays short. If pathological interleavings
+// fragment it, the list is compacted pessimistically (adjacent spans merge
+// across their gap), which can only over-estimate contention.
+type SlotAlloc struct {
+	spans []span
+}
+
+type span struct{ lo, hi int64 }
+
+// maxSpans bounds the span list; beyond it, smallest gaps are merged away.
+const maxSpans = 128
+
+// alloc claims and returns the smallest free cycle >= ready.
+func (a *SlotAlloc) Alloc(ready int64) int64 {
+	// Find the first span that could contain or follow `ready`.
+	i := sort.Search(len(a.spans), func(i int) bool { return a.spans[i].hi >= ready })
+
+	start := ready
+	if i < len(a.spans) && a.spans[i].lo <= start {
+		// ready is inside span i: the next candidate is just after it;
+		// skip across any subsequent abutting spans.
+		start = a.spans[i].hi + 1
+		for i+1 < len(a.spans) && a.spans[i+1].lo <= start {
+			i++
+			start = a.spans[i].hi + 1
+		}
+		// Extend span i and merge with its successor if they now touch.
+		a.spans[i].hi = start
+		if i+1 < len(a.spans) && a.spans[i+1].lo == start+1 {
+			a.spans[i].hi = a.spans[i+1].hi
+			a.spans = append(a.spans[:i+1], a.spans[i+2:]...)
+		}
+		return start
+	}
+
+	// `start` is free. It may abut span i-1 (hi == start-1) or span i
+	// (lo == start+1), or both.
+	touchPrev := i > 0 && a.spans[i-1].hi == start-1
+	touchNext := i < len(a.spans) && a.spans[i].lo == start+1
+	switch {
+	case touchPrev && touchNext:
+		a.spans[i-1].hi = a.spans[i].hi
+		a.spans = append(a.spans[:i], a.spans[i+1:]...)
+	case touchPrev:
+		a.spans[i-1].hi = start
+	case touchNext:
+		a.spans[i].lo = start
+	default:
+		a.spans = append(a.spans, span{})
+		copy(a.spans[i+1:], a.spans[i:])
+		a.spans[i] = span{start, start}
+	}
+	if len(a.spans) > maxSpans {
+		a.compact()
+	}
+	return start
+}
+
+// compact halves the span list by merging each pair of neighbours across
+// their gap (a pessimistic approximation used only under fragmentation).
+func (a *SlotAlloc) compact() {
+	out := a.spans[:0]
+	for i := 0; i < len(a.spans); i += 2 {
+		s := a.spans[i]
+		if i+1 < len(a.spans) {
+			s.hi = a.spans[i+1].hi
+		}
+		out = append(out, s)
+	}
+	a.spans = out
+}
+
+// reset clears all allocations.
+func (a *SlotAlloc) Reset() { a.spans = a.spans[:0] }
+
+// Outstanding models a reservation buffer: at most cap operations in flight.
+// A new operation ready at cycle c must wait until fewer than cap previously
+// issued operations are still incomplete — but, unlike a FIFO ring, a slot
+// frees as soon as *its* operation completes, so one slow miss does not
+// block the other slots (dynamic dataflow overtaking).
+type Outstanding struct {
+	cap  int
+	done []int64 // completion times of in-flight ops
+}
+
+func NewOutstanding(capacity int) *Outstanding {
+	return &Outstanding{cap: capacity}
+}
+
+// admit returns the earliest cycle >= ready at which a slot is available,
+// retiring completed operations as time advances.
+func (o *Outstanding) Admit(ready int64) int64 {
+	// Retire everything that completes by `ready`.
+	live := o.done[:0]
+	for _, d := range o.done {
+		if d > ready {
+			live = append(live, d)
+		}
+	}
+	o.done = live
+	if len(o.done) < o.cap {
+		return ready
+	}
+	// Full: wait for the earliest completion.
+	minIdx := 0
+	for i, d := range o.done {
+		if d < o.done[minIdx] {
+			minIdx = i
+		}
+	}
+	start := o.done[minIdx]
+	o.done = append(o.done[:minIdx], o.done[minIdx+1:]...)
+	return start
+}
+
+// record notes a newly issued operation's completion time.
+func (o *Outstanding) Record(done int64) { o.done = append(o.done, done) }

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Headers: []string{"Name", "Value", "Ratio"},
+	}
+	t.AddRow("alpha", 42, 1.5)
+	t.AddRow("beta-long-name", uint64(7), float32(0.25))
+	t.AddRow("g", "x", 2.0)
+	return t
+}
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Sample" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header and separator must align; every data row starts at column 0
+	// with the name.
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "Value" starts at the same offset in header and rows.
+	col := strings.Index(lines[1], "Value")
+	if col < 0 {
+		t.Fatal("no Value column")
+	}
+	if lines[3][col:col+2] != "42" {
+		t.Errorf("row 1 misaligned: %q", lines[3])
+	}
+	// Floats format to three decimals.
+	if !strings.Contains(out, "1.500") || !strings.Contains(out, "0.250") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "Name,Value,Ratio" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "alpha,42,1.500" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+	if len(lines) != 4 {
+		t.Errorf("csv has %d lines, want 4", len(lines))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var sb strings.Builder
+	tbl := &Table{Headers: []string{"A"}}
+	if err := tbl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "A") {
+		t.Error("header missing")
+	}
+}

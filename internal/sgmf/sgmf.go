@@ -1,0 +1,142 @@
+// Package sgmf models the Single-Graph Multiple-Flows dataflow GPGPU
+// (Voitsechov & Etsion, ISCA 2014), the paper's second baseline. SGMF maps
+// the *entire* kernel — all control paths, if-converted into predicated
+// dataflow — onto the MT-CGRF at once (Figure 1c). It therefore:
+//
+//   - cannot run kernels whose flattened graph exceeds the fabric, nor
+//     kernels with data-dependent loops or barriers (§2, §5);
+//   - wastes units on not-taken paths under control divergence;
+//   - needs no reconfiguration, no live value cache, and no control vector
+//     table, which makes it faster than VGIW on small low-divergence kernels
+//     (Figures 8 and 11).
+package sgmf
+
+import (
+	"fmt"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/engine"
+	"vgiw/internal/fabric"
+	"vgiw/internal/kir"
+	"vgiw/internal/mem"
+)
+
+// Config assembles an SGMF core.
+type Config struct {
+	Fabric fabric.Config
+	Mem    mem.Config
+	Engine engine.Options
+}
+
+// DefaultConfig matches the VGIW fabric and memory system so comparisons
+// isolate the execution model.
+func DefaultConfig() Config {
+	return Config{
+		Fabric: fabric.DefaultConfig(),
+		Mem:    mem.DefaultConfig(mem.WriteBack),
+	}
+}
+
+// Result aggregates a kernel execution on the SGMF core.
+type Result struct {
+	Kernel  string
+	Threads int
+	Cycles  int64
+
+	GraphNodes int
+	Replicas   int
+
+	Ops            map[kir.UnitClass]uint64
+	FPOps          uint64
+	TokenHops      uint64
+	TokenTransfers uint64
+	SkippedMemOps  uint64 // predicated-off accesses: the divergence waste
+	GlobalAccesses uint64
+	SharedAccesses uint64
+	MemStats       mem.SystemStats
+}
+
+// Machine is an SGMF core instance.
+type Machine struct {
+	cfg  Config
+	grid *fabric.Grid
+	eng  *engine.Engine
+}
+
+// NewMachine builds the core.
+func NewMachine(cfg Config) (*Machine, error) {
+	grid, err := fabric.NewGrid(cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, grid: grid, eng: engine.New(grid, cfg.Engine)}, nil
+}
+
+// Map if-converts and places the kernel, reporting why a kernel is not
+// SGMF-mappable (loops, barriers, or exceeding the fabric).
+func (m *Machine) Map(k *kir.Kernel) (*fabric.Placement, error) {
+	if _, err := compile.ScheduleBlocks(k); err != nil {
+		return nil, err
+	}
+	// Counted loops with compile-time trip counts can be fully unrolled,
+	// which turns some loopy kernels into SGMF-mappable acyclic graphs
+	// (bounded so the result still has a chance of fitting the fabric).
+	if _, err := compile.UnrollLoops(k, 16, 96); err != nil {
+		return nil, err
+	}
+	g, err := compile.IfConvert(k)
+	if err != nil {
+		return nil, err
+	}
+	p, err := fabric.PlaceMax(m.grid, g)
+	if err != nil {
+		return nil, fmt.Errorf("sgmf: kernel %s: %w", k.Name, err)
+	}
+	return p, nil
+}
+
+// Supported reports whether the kernel can run on SGMF at all.
+func (m *Machine) Supported(k *kir.Kernel) bool {
+	_, err := m.Map(k)
+	return err == nil
+}
+
+// Run executes a kernel launch: one static configuration, every thread
+// streamed through the whole-kernel graph.
+func (m *Machine) Run(k *kir.Kernel, launch kir.Launch, global []uint32) (*Result, error) {
+	p, err := m.Map(k)
+	if err != nil {
+		return nil, err
+	}
+	sys := mem.NewSystem(m.cfg.Mem)
+	env, err := engine.NewDataEnv(k, launch, global, sys)
+	if err != nil {
+		return nil, err
+	}
+	threads := make([]int, launch.Threads())
+	for i := range threads {
+		threads[i] = i
+	}
+	// A single configuration at kernel load; afterwards threads stream
+	// continuously (no BBS, no reconfiguration).
+	start := m.cfg.Fabric.ConfigCycles
+	st, err := m.eng.RunVector(p, threads, start, env.Hooks())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Kernel:         k.Name,
+		Threads:        launch.Threads(),
+		Cycles:         st.EndCycle,
+		GraphNodes:     len(p.Graph.Nodes),
+		Replicas:       p.Replicas,
+		Ops:            st.Ops,
+		FPOps:          st.FPOps,
+		TokenHops:      st.TokenHops,
+		TokenTransfers: st.TokenTransfers,
+		SkippedMemOps:  st.SkippedMemOps,
+		GlobalAccesses: st.GlobalAccesses,
+		SharedAccesses: st.SharedAccesses,
+		MemStats:       sys.Stats(),
+	}, nil
+}

@@ -1,0 +1,704 @@
+// Package simt is the von Neumann GPGPU baseline: a cycle-approximate model
+// of an NVIDIA Fermi streaming multiprocessor. It executes kernels in
+// lockstep warps of 32 threads with a SIMT reconvergence stack (execution
+// masks under divergence), dual warp schedulers, a register scoreboard,
+// per-warp memory coalescing, and a write-through/no-allocate L1 (§3.6).
+//
+// The model exists to reproduce the paper's comparisons: Figure 3 (register
+// file traffic), Figure 7 (speedup), and Figures 9/10 (energy efficiency).
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/engine"
+	"vgiw/internal/kir"
+	"vgiw/internal/mem"
+)
+
+// Config sizes the SM.
+type Config struct {
+	WarpSize   int // 32 lanes
+	MaxCTAs    int // resident CTAs (Fermi: 8)
+	MaxWarps   int // resident warps (Fermi: 48)
+	IssueWidth int // warp instructions issued per cycle (dual schedulers)
+
+	// Execution-port occupancies: cycles one warp instruction holds the
+	// shared unit array (32 lanes over N units of that kind).
+	ALUOccupancy int64 // 32 CUDA cores: 1 warp instruction per cycle
+	SFUOccupancy int64 // 4 SFUs: 8 cycles
+	MemOccupancy int64 // 16 LD/ST units: 2 cycles
+	// BranchLat is the pipeline-refill bubble a warp pays at every block
+	// terminator (branch resolution + instruction fetch redirect).
+	BranchLat int64
+	// PipelineLat is the register-file round-trip added to every dependent
+	// latency: operand collection, the execution pipeline's writeback
+	// stage, and the RF write. Fermi's measured dependent ALU latency is
+	// ~18 cycles; the dataflow fabric forwards tokens directly and pays
+	// only hop latency instead — one of the two von Neumann overheads the
+	// paper targets (§1).
+	PipelineLat int64
+	// Scheduler selects the warp scheduling policy.
+	Scheduler SchedPolicy
+	Mem       mem.Config
+}
+
+// SchedPolicy selects how the warp scheduler picks among ready warps.
+type SchedPolicy uint8
+
+const (
+	// SchedLRR is loose round robin (the default).
+	SchedLRR SchedPolicy = iota
+	// SchedGTO is greedy-then-oldest: stick with the last issued warp
+	// while it stays ready, else fall back to the oldest ready warp —
+	// the policy family the paper's related work ([11], two-level warp
+	// scheduling) improves on.
+	SchedGTO
+)
+
+func (p SchedPolicy) String() string {
+	if p == SchedGTO {
+		return "gto"
+	}
+	return "lrr"
+}
+
+// DefaultConfig is a GTX480-class SM with the §3.6 memory system
+// (write-through, no-allocate L1).
+func DefaultConfig() Config {
+	return Config{
+		WarpSize: 32,
+		MaxCTAs:  8,
+		MaxWarps: 48,
+		// Fermi's two schedulers run at the half-rate scheduler clock; at
+		// the 1.4GHz core clock the SM sustains one warp instruction per
+		// cycle (32 CUDA cores = one full warp ALU op per core cycle).
+		IssueWidth:   1,
+		ALUOccupancy: 1,
+		SFUOccupancy: 8,
+		MemOccupancy: 2,
+		BranchLat:    4,
+		PipelineLat:  14,
+		Mem:          mem.DefaultConfig(mem.WriteThrough),
+	}
+}
+
+// Result aggregates a kernel execution on the SM.
+type Result struct {
+	Kernel  string
+	Threads int
+	Cycles  int64
+
+	WarpInstrs   uint64 // issued warp instructions (terminators included)
+	ThreadInstrs uint64 // sum of active lanes over issued instructions
+	MaskedLanes  uint64 // lanes disabled by divergence on issued instructions
+
+	// Register file traffic. RFReads/RFWrites count per-lane word accesses
+	// (the RF reads a full vector register per warp operand, so all
+	// WarpSize lanes are charged); RFWarpAccesses counts one access per
+	// warp operand.
+	RFReads, RFWrites uint64
+	RFWarpAccesses    uint64
+
+	ALUOps  uint64 // active ALU lane-operations
+	FPOps   uint64 // active floating-point lane-operations (subset of ALUOps)
+	SFUOps  uint64 // active SFU lane-operations
+	MemOps  uint64 // active memory lane-operations
+	L1Trans uint64 // coalesced L1 transactions
+	ShTrans uint64 // shared-memory transactions
+
+	Divergences uint64 // stack pushes (branches where lanes split)
+	Barriers    uint64
+
+	MemStats mem.SystemStats
+}
+
+// stackEntry is one SIMT reconvergence stack level: execute `block` under
+// `mask`; pop when control reaches `rpc`.
+type stackEntry struct {
+	block int
+	instr int
+	rpc   int
+	mask  uint32
+}
+
+type warp struct {
+	id    int
+	cta   int
+	lanes []int // global thread IDs (one per lane; -1 for absent)
+
+	regs     [][]uint32 // [lane][reg]
+	regReady []int64    // scoreboard: cycle each register's value is ready
+
+	stack   []stackEntry
+	active  uint32 // lanes that have not returned
+	readyAt int64  // structural: next cycle this warp may issue
+
+	atBarrier bool
+	done      bool
+}
+
+func (w *warp) top() *stackEntry { return &w.stack[len(w.stack)-1] }
+
+// Machine is the SM simulator.
+type Machine struct {
+	cfg Config
+}
+
+// NewMachine builds an SM.
+func NewMachine(cfg Config) *Machine { return &Machine{cfg: cfg} }
+
+// Run executes a compiled kernel launch, mutating global memory in place.
+func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []uint32) (*Result, error) {
+	k := ck.Kernel
+	if err := launch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(launch.Params) != k.NumParams {
+		return nil, fmt.Errorf("simt: kernel %s wants %d params, launch has %d",
+			k.Name, k.NumParams, len(launch.Params))
+	}
+	r := &run{
+		m:      m,
+		k:      k,
+		ipdom:  ck.IPDom,
+		launch: launch,
+		global: global,
+		sys:    mem.NewSystem(m.cfg.Mem),
+		res:    &Result{Kernel: k.Name, Threads: launch.Threads()},
+	}
+	r.shared = make([][]uint32, launch.CTAs())
+	for i := range r.shared {
+		r.shared[i] = make([]uint32, k.SharedWds)
+	}
+	if err := r.execute(); err != nil {
+		return nil, err
+	}
+	r.res.Cycles = r.cycle
+	r.res.MemStats = r.sys.Stats()
+	return r.res, nil
+}
+
+type run struct {
+	m      *Machine
+	k      *kir.Kernel
+	ipdom  []int
+	launch kir.Launch
+	global []uint32
+	shared [][]uint32
+	sys    *mem.System
+	res    *Result
+
+	warps    []*warp
+	nextCTA  int
+	liveCTA  map[int]int // cta -> live warps
+	barriers map[int]int // cta -> warps waiting
+	cycle    int64
+	lastPick int
+
+	// Shared execution ports: next cycle the ALU array / SFUs / LD-ST
+	// units accept a new warp instruction.
+	portFree [3]int64
+}
+
+// Execution port indices.
+const (
+	portALU = iota
+	portSFU
+	portMEM
+)
+
+// portOf classifies an instruction onto an execution port.
+func portOf(op kir.Op) int {
+	switch {
+	case op.IsMemory():
+		return portMEM
+	case op.Class() == kir.ClassSCU:
+		return portSFU
+	}
+	return portALU
+}
+
+// execute drives the warp schedulers until every CTA has completed.
+func (r *run) execute() error {
+	ctaSize := r.launch.CTASize()
+	warpsPerCTA := (ctaSize + r.m.cfg.WarpSize - 1) / r.m.cfg.WarpSize
+	if warpsPerCTA > r.m.cfg.MaxWarps {
+		return fmt.Errorf("simt: CTA of %d threads exceeds %d resident warps", ctaSize, r.m.cfg.MaxWarps)
+	}
+	r.liveCTA = make(map[int]int)
+	r.barriers = make(map[int]int)
+
+	for {
+		// Admit resident CTAs up to the occupancy limits; compact retired
+		// warps away once they dominate the list.
+		for r.nextCTA < r.launch.CTAs() &&
+			len(r.liveCTA) < r.m.cfg.MaxCTAs &&
+			r.liveWarps()+warpsPerCTA <= r.m.cfg.MaxWarps {
+			r.admitCTA(r.nextCTA, warpsPerCTA)
+			r.nextCTA++
+		}
+		if len(r.warps) > 4*r.m.cfg.MaxWarps {
+			r.compact()
+		}
+		if r.liveWarps() == 0 {
+			if r.nextCTA >= r.launch.CTAs() {
+				return nil
+			}
+			continue
+		}
+
+		issued := 0
+		for issued < r.m.cfg.IssueWidth {
+			w := r.pickWarp()
+			if w == nil {
+				break
+			}
+			if err := r.issue(w); err != nil {
+				return err
+			}
+			issued++
+		}
+		if issued > 0 {
+			r.cycle++
+			continue
+		}
+		// Nothing issuable this cycle: jump to the next event.
+		next := int64(1<<62 - 1)
+		for _, w := range r.warps {
+			if w.done || w.atBarrier {
+				continue
+			}
+			if t := r.earliestIssue(w); t < next {
+				next = t
+			}
+		}
+		if next >= 1<<62-1 {
+			return fmt.Errorf("simt: deadlock at cycle %d (all warps blocked)", r.cycle)
+		}
+		if next <= r.cycle {
+			next = r.cycle + 1
+		}
+		r.cycle = next
+	}
+}
+
+// compact drops retired warps and renumbers the rest.
+func (r *run) compact() {
+	live := r.warps[:0]
+	for _, w := range r.warps {
+		if !w.done {
+			w.id = len(live)
+			live = append(live, w)
+		}
+	}
+	r.warps = live
+	r.lastPick = 0
+}
+
+func (r *run) liveWarps() int {
+	n := 0
+	for _, w := range r.warps {
+		if !w.done {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *run) admitCTA(cta, warpsPerCTA int) {
+	ctaSize := r.launch.CTASize()
+	base := cta * ctaSize
+	for wi := 0; wi < warpsPerCTA; wi++ {
+		w := &warp{
+			id:       len(r.warps),
+			cta:      cta,
+			lanes:    make([]int, r.m.cfg.WarpSize),
+			regs:     make([][]uint32, r.m.cfg.WarpSize),
+			regReady: make([]int64, r.k.NumRegs),
+			readyAt:  r.cycle,
+		}
+		var mask uint32
+		for l := 0; l < r.m.cfg.WarpSize; l++ {
+			t := wi*r.m.cfg.WarpSize + l
+			if t < ctaSize {
+				w.lanes[l] = base + t
+				w.regs[l] = make([]uint32, r.k.NumRegs)
+				mask |= 1 << l
+			} else {
+				w.lanes[l] = -1
+			}
+		}
+		w.active = mask
+		w.stack = []stackEntry{{block: 0, instr: 0, rpc: -1, mask: mask}}
+		r.warps = append(r.warps, w)
+		r.liveCTA[cta]++
+	}
+}
+
+// earliestIssue computes when the warp's next instruction could issue,
+// folding in the register scoreboard.
+func (r *run) earliestIssue(w *warp) int64 {
+	t := w.readyAt
+	e := w.top()
+	blk := r.k.Blocks[e.block]
+	if e.instr < len(blk.Instrs) {
+		in := blk.Instrs[e.instr]
+		for i := 0; i < in.Op.NumSrc(); i++ {
+			if rr := w.regReady[in.Src[i]]; rr > t {
+				t = rr
+			}
+		}
+		if pf := r.portFree[portOf(in.Op)]; pf > t {
+			t = pf
+		}
+	} else if blk.Term.Kind == kir.TermBranch {
+		if rr := w.regReady[blk.Term.Cond]; rr > t {
+			t = rr
+		}
+	}
+	return t
+}
+
+// pickWarp selects a ready warp according to the configured policy.
+func (r *run) pickWarp() *warp {
+	n := len(r.warps)
+	if n == 0 {
+		return nil
+	}
+	if r.m.cfg.Scheduler == SchedGTO {
+		// Greedy: stay on the last issued warp while it remains ready.
+		if r.lastPick < n {
+			if w := r.warps[r.lastPick]; !w.done && !w.atBarrier && r.earliestIssue(w) <= r.cycle {
+				return w
+			}
+		}
+		// Then oldest: lowest warp ID that is ready.
+		for _, w := range r.warps {
+			if w.done || w.atBarrier {
+				continue
+			}
+			if r.earliestIssue(w) <= r.cycle {
+				r.lastPick = w.id
+				return w
+			}
+		}
+		return nil
+	}
+	// Loose round robin.
+	for i := 0; i < n; i++ {
+		w := r.warps[(r.lastPick+1+i)%n]
+		if w.done || w.atBarrier {
+			continue
+		}
+		if r.earliestIssue(w) <= r.cycle {
+			r.lastPick = w.id
+			return w
+		}
+	}
+	return nil
+}
+
+// issue executes one warp instruction (or terminator) at the current cycle.
+func (r *run) issue(w *warp) error {
+	e := w.top()
+	blk := r.k.Blocks[e.block]
+	if e.instr < len(blk.Instrs) {
+		return r.issueInstr(w, blk.Instrs[e.instr])
+	}
+	return r.issueTerm(w, blk.Term)
+}
+
+// countRF charges register-file traffic for one issued warp instruction.
+func (r *run) countRF(reads, writes int) {
+	ws := uint64(r.m.cfg.WarpSize)
+	r.res.RFReads += uint64(reads) * ws
+	r.res.RFWrites += uint64(writes) * ws
+	r.res.RFWarpAccesses += uint64(reads + writes)
+}
+
+func (r *run) issueInstr(w *warp, in kir.Instr) error {
+	e := w.top()
+	mask := e.mask
+	lanesOn := bits.OnesCount32(mask)
+	r.res.WarpInstrs++
+	r.res.ThreadInstrs += uint64(lanesOn)
+	r.res.MaskedLanes += uint64(bits.OnesCount32(w.active &^ mask))
+	r.countRF(in.Op.NumSrc(), boolInt(in.Op.HasDst()))
+
+	lat := engine.OpLatency(in.Op)
+	occupancy := r.m.cfg.ALUOccupancy
+	done := r.cycle + lat
+
+	switch {
+	case in.Op.IsMemory():
+		r.res.MemOps += uint64(lanesOn)
+		var trans int
+		var err error
+		done, trans, err = r.execMem(w, in, mask)
+		if err != nil {
+			return err
+		}
+		// An uncoalesced access replays: the LD/ST port is held once per
+		// generated transaction (memory divergence), not per instruction.
+		occupancy = r.m.cfg.MemOccupancy
+		if t := int64(trans); t > occupancy {
+			occupancy = t
+		}
+	case in.Op.Class() == kir.ClassSCU:
+		occupancy = r.m.cfg.SFUOccupancy
+		r.res.SFUOps += uint64(lanesOn)
+		r.execALU(w, in, mask)
+	default:
+		r.res.ALUOps += uint64(lanesOn)
+		if in.Op.IsFloat() {
+			r.res.FPOps += uint64(lanesOn)
+		}
+		r.execALU(w, in, mask)
+	}
+
+	if in.Op.HasDst() {
+		w.regReady[in.Dst] = done + r.m.cfg.PipelineLat
+	}
+	r.portFree[portOf(in.Op)] = r.cycle + occupancy
+	w.readyAt = r.cycle + 1
+	e.instr++
+	return nil
+}
+
+func (r *run) execALU(w *warp, in kir.Instr, mask uint32) {
+	for l := 0; l < r.m.cfg.WarpSize; l++ {
+		if mask&(1<<l) == 0 {
+			continue
+		}
+		regs := w.regs[l]
+		switch {
+		case in.Op == kir.OpParam:
+			regs[in.Dst] = r.launch.Params[in.Imm]
+		case in.Op.IsGeometry():
+			regs[in.Dst] = r.launch.Geometry(in.Op, w.lanes[l])
+		default:
+			var a, b, c uint32
+			n := in.Op.NumSrc()
+			if n > 0 {
+				a = regs[in.Src[0]]
+			}
+			if n > 1 {
+				b = regs[in.Src[1]]
+			}
+			if n > 2 {
+				c = regs[in.Src[2]]
+			}
+			regs[in.Dst] = kir.Eval(in.Op, a, b, c, in.Imm)
+		}
+	}
+}
+
+// execMem performs a coalesced memory access for the active lanes and
+// returns the completion cycle of the slowest transaction plus the number of
+// transactions generated (line transactions for global memory, conflicting
+// bank groups for shared memory).
+func (r *run) execMem(w *warp, in kir.Instr, mask uint32) (int64, int, error) {
+	write := in.Op.IsStore()
+	sharedSpace := in.Op.IsShared()
+	lineWords := int64(r.m.cfg.Mem.L1.LineBytes / 4)
+
+	done := r.cycle + 1
+	lines := make(map[int64]bool)
+	banks := make(map[int64]bool)
+	for l := 0; l < r.m.cfg.WarpSize; l++ {
+		if mask&(1<<l) == 0 {
+			continue
+		}
+		regs := w.regs[l]
+		addr := int64(int32(regs[in.Src[0]]) + in.Imm)
+		if sharedSpace {
+			sh := r.shared[w.cta]
+			if addr < 0 || addr >= int64(len(sh)) {
+				return 0, 0, fmt.Errorf("simt: thread %d: shared access out of bounds: %d (size %d)",
+					w.lanes[l], addr, len(sh))
+			}
+			if write {
+				sh[addr] = regs[in.Src[1]]
+			} else {
+				regs[in.Dst] = sh[addr]
+			}
+			banks[addr%int64(r.m.cfg.Mem.SharedBanks)] = true
+			continue
+		}
+		if addr < 0 || addr >= int64(len(r.global)) {
+			return 0, 0, fmt.Errorf("simt: thread %d: global access out of bounds: %d (size %d)",
+				w.lanes[l], addr, len(r.global))
+		}
+		if write {
+			r.global[addr] = regs[in.Src[1]]
+		} else {
+			regs[in.Dst] = r.global[addr]
+		}
+		lines[addr/lineWords] = true
+	}
+
+	if sharedSpace {
+		// Bank conflicts serialize; each distinct bank is one transaction.
+		r.res.ShTrans += uint64(len(banks))
+		for b := range banks {
+			if t := r.sys.AccessShared(b, r.cycle); t > done {
+				done = t
+			}
+		}
+		return done, len(banks), nil
+	}
+	// Coalescing: one transaction per distinct 128B line (Fermi-style).
+	r.res.L1Trans += uint64(len(lines))
+	for line := range lines {
+		if t := r.sys.AccessLine(line, write, r.cycle); t > done {
+			done = t
+		}
+	}
+	return done, len(lines), nil
+}
+
+// issueTerm executes a block terminator: branch resolution, divergence-stack
+// maintenance, reconvergence pops, barrier arrival, and thread retirement.
+func (r *run) issueTerm(w *warp, t kir.Terminator) error {
+	e := w.top()
+	r.res.WarpInstrs++
+	r.res.ThreadInstrs += uint64(bits.OnesCount32(e.mask))
+
+	switch t.Kind {
+	case kir.TermRet:
+		exiting := e.mask
+		w.active &^= exiting
+		for i := range w.stack {
+			w.stack[i].mask &^= exiting
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+		r.popEmpty(w)
+		if w.active == 0 || len(w.stack) == 0 {
+			r.retireWarp(w)
+			return nil
+		}
+
+	case kir.TermJump:
+		e.block = t.Then
+		e.instr = 0
+		r.reconverge(w)
+
+	case kir.TermBranch:
+		r.countRF(1, 0) // the condition register read
+		var maskThen, maskElse uint32
+		for l := 0; l < r.m.cfg.WarpSize; l++ {
+			if e.mask&(1<<l) == 0 {
+				continue
+			}
+			if w.regs[l][t.Cond] != 0 {
+				maskThen |= 1 << l
+			} else {
+				maskElse |= 1 << l
+			}
+		}
+		switch {
+		case maskElse == 0:
+			e.block, e.instr = t.Then, 0
+		case maskThen == 0:
+			e.block, e.instr = t.Else, 0
+		default:
+			r.res.Divergences++
+			d := r.ipdom[e.block]
+			full := e.mask
+			// Continuation at the reconvergence point, then the two paths.
+			*e = stackEntry{block: d, instr: 0, rpc: e.rpc, mask: full}
+			w.stack = append(w.stack,
+				stackEntry{block: t.Else, instr: 0, rpc: d, mask: maskElse},
+				stackEntry{block: t.Then, instr: 0, rpc: d, mask: maskThen},
+			)
+		}
+		r.reconverge(w)
+	}
+
+	w.readyAt = r.cycle + 1 + r.m.cfg.BranchLat
+	r.checkBarrier(w)
+	return nil
+}
+
+// reconverge pops stack levels whose control reached their reconvergence
+// point, then drops empty-mask levels (all lanes exited).
+func (r *run) reconverge(w *warp) {
+	for len(w.stack) > 0 {
+		e := w.top()
+		if e.mask == 0 || (e.rpc >= 0 && e.block == e.rpc && e.instr == 0) {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		break
+	}
+	if len(w.stack) == 0 {
+		r.retireWarp(w)
+	}
+}
+
+func (r *run) popEmpty(w *warp) {
+	for len(w.stack) > 0 && w.top().mask == 0 {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+	// A revealed entry may itself sit at its reconvergence point.
+	if len(w.stack) > 0 {
+		r.reconverge(w)
+	}
+}
+
+func (r *run) retireWarp(w *warp) {
+	if w.done {
+		return
+	}
+	w.done = true
+	r.liveCTA[w.cta]--
+	if r.liveCTA[w.cta] == 0 {
+		delete(r.liveCTA, w.cta)
+	}
+	r.releaseBarrier(w.cta)
+}
+
+// checkBarrier stalls the warp if its next block is a barrier block and the
+// rest of the CTA has not arrived yet.
+func (r *run) checkBarrier(w *warp) {
+	if w.done || len(w.stack) == 0 {
+		return
+	}
+	e := w.top()
+	if e.instr != 0 || !r.k.Blocks[e.block].Barrier {
+		return
+	}
+	r.barriers[w.cta]++
+	w.atBarrier = true
+	r.res.Barriers++
+	r.releaseBarrier(w.cta)
+}
+
+// releaseBarrier opens the barrier once every live warp of the CTA waits.
+func (r *run) releaseBarrier(cta int) {
+	if r.barriers[cta] == 0 {
+		return
+	}
+	if r.barriers[cta] < r.liveCTA[cta] {
+		return
+	}
+	for _, w := range r.warps {
+		if w.cta == cta && w.atBarrier {
+			w.atBarrier = false
+			if w.readyAt < r.cycle+1 {
+				w.readyAt = r.cycle + 1
+			}
+		}
+	}
+	r.barriers[cta] = 0
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
