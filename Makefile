@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build test vet race bench fmt
+
+# check is the full pre-merge gate: static checks, the test suite under the
+# race detector, and one iteration of each perf-guard benchmark (allocs/op
+# regressions show up even at -benchtime=1x).
+check: vet build race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineHotPath -benchtime 1x ./internal/engine/
+	$(GO) test -run '^$$' -bench BenchmarkRunAllParallel -benchtime 1x ./internal/bench/
+
+fmt:
+	gofmt -l .

@@ -10,12 +10,14 @@
 //	vgiw-experiments -scale 4        # larger workloads (closer to the paper)
 //	vgiw-experiments -fig7 -fig9     # a subset
 //	vgiw-experiments -csv            # machine-readable output
+//	vgiw-experiments -parallel 1     # force the serial harness
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vgiw/internal/bench"
 	"vgiw/internal/kernels"
@@ -25,6 +27,7 @@ import (
 func main() {
 	var (
 		scale    = flag.Int("scale", 2, "workload scale factor (1 = quick, 4 = closer to the paper's sizes)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent kernel runs (1 = serial; results are identical either way)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		table1   = flag.Bool("table1", false, "Table 1: system configuration")
 		table2   = flag.Bool("table2", false, "Table 2: benchmark kernels")
@@ -46,18 +49,31 @@ func main() {
 
 	opt := bench.DefaultOptions()
 	opt.Scale = *scale
+	opt.Parallelism = *parallel
 
-	fmt.Fprintf(os.Stderr, "running %d benchmark kernels on VGIW, Fermi-SIMT and SGMF (scale %d)...\n",
-		len(kernels.All()), *scale)
-	runs, err := bench.RunAll(opt)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		os.Exit(1)
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	fmt.Fprintf(os.Stderr, "all runs validated against the host references.\n\n")
+	fmt.Fprintf(os.Stderr, "running %d benchmark kernels on VGIW, Fermi-SIMT and SGMF (scale %d, %d workers)...\n",
+		len(kernels.All()), *scale, workers)
+	suite, err := bench.RunSuite(opt)
+	runs := suite.Runs
+	if err != nil {
+		// A failing kernel no longer discards the completed runs: report
+		// every failure and keep going with the rest.
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		if len(runs) == 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "continuing with the %d/%d kernels that completed.\n",
+			len(runs), len(kernels.All()))
+	}
+	fmt.Fprintf(os.Stderr, "%d runs validated against the host references in %.2fs wall clock.\n\n",
+		len(runs), suite.WallClock.Seconds())
 
 	if *jsonOut {
-		if err := bench.WriteJSON(os.Stdout, runs, *scale); err != nil {
+		if err := suite.WriteJSON(os.Stdout, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,4 +1,4 @@
-// vgiwsim runs one benchmark kernel on one architecture and prints its
+// vgiwsim runs benchmark kernels on one architecture and prints their
 // execution statistics.
 //
 // Usage:
@@ -8,12 +8,19 @@
 //	vgiwsim -kernel nn.euclid -arch simt   # the Fermi-like baseline
 //	vgiwsim -kernel nn.euclid -arch sgmf   # the SGMF baseline
 //	vgiwsim -kernel hotspot.kernel -scale 4 -blocks
+//	vgiwsim -kernel all -parallel 8        # whole registry, 8 workers
+//	vgiwsim -kernel bfs.kernel1,nn.euclid  # a comma-separated subset
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"vgiw/internal/compile"
 	"vgiw/internal/core"
@@ -26,13 +33,14 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available kernels and exit")
-		name   = flag.String("kernel", "", "kernel to run (see -list)")
-		arch   = flag.String("arch", "vgiw", "architecture: vgiw, simt, or sgmf")
-		scale  = flag.Int("scale", 1, "workload scale factor")
-		blocks = flag.Bool("blocks", false, "print per-block scheduling detail (vgiw only)")
-		grid   = flag.Bool("grid", false, "print the fabric occupancy heatmap (vgiw only)")
-		trace  = flag.Bool("trace", false, "print a timeline of block schedules (vgiw only)")
+		list     = flag.Bool("list", false, "list available kernels and exit")
+		name     = flag.String("kernel", "", "kernel(s) to run: a name, a comma-separated list, or \"all\" (see -list)")
+		arch     = flag.String("arch", "vgiw", "architecture: vgiw, simt, or sgmf")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent kernel runs when several kernels are given")
+		blocks   = flag.Bool("blocks", false, "print per-block scheduling detail (vgiw only)")
+		grid     = flag.Bool("grid", false, "print the fabric occupancy heatmap (vgiw only)")
+		trace    = flag.Bool("trace", false, "print a timeline of block schedules (vgiw only)")
 	)
 	flag.Parse()
 
@@ -46,83 +54,167 @@ func main() {
 		}
 		return
 	}
-	spec, ok := kernels.ByName(*name)
-	if !ok {
-		fail("unknown kernel %q (use -list)", *name)
-	}
-	inst, err := spec.Build(*scale)
+
+	specs, err := resolveSpecs(*name)
 	if err != nil {
-		fail("build: %v", err)
+		fail("%v", err)
 	}
-	fmt.Printf("kernel %s: %d threads, %d blocks, %d instructions\n",
+
+	if len(specs) == 1 {
+		if err := runOne(os.Stdout, specs[0], *arch, *scale, *blocks, *grid, *trace); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	// Several kernels: fan the runs across a worker pool, buffering each
+	// kernel's report so the output stays in registry order. Each run builds
+	// its own instance and machine, so results match a serial sweep.
+	outs := make([]bytes.Buffer, len(specs))
+	errs := make([]error, len(specs))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = runOne(&outs[i], specs[i], *arch, *scale, *blocks, *grid, *trace)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	failed := 0
+	for i := range specs {
+		os.Stdout.Write(outs[i].Bytes())
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "vgiwsim: %s: %v\n", specs[i].Name, errs[i])
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fail("%d of %d kernels failed", failed, len(specs))
+	}
+}
+
+// resolveSpecs expands the -kernel argument: a single name, a comma list, or
+// "all" for the whole registry.
+func resolveSpecs(arg string) ([]kernels.Spec, error) {
+	if arg == "all" {
+		return kernels.All(), nil
+	}
+	var specs []kernels.Spec
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		spec, ok := kernels.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q (use -list)", n)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no kernel given (use -list)")
+	}
+	return specs, nil
+}
+
+// runOne builds and runs one kernel on one architecture, writing the report
+// to w and validating the output against the host reference.
+func runOne(w io.Writer, spec kernels.Spec, arch string, scale int, blocks, grid, trace bool) error {
+	inst, err := spec.Build(scale)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	fmt.Fprintf(w, "kernel %s: %d threads, %d blocks, %d instructions\n",
 		spec.Name, inst.Launch.Threads(), len(inst.Kernel.Blocks), inst.Kernel.NumInstrs())
 
-	switch *arch {
+	switch arch {
 	case "vgiw":
-		runVGIW(inst, *blocks, *grid, *trace)
+		err = runVGIW(w, inst, blocks, grid, trace)
 	case "simt":
-		runSIMT(inst)
+		err = runSIMT(w, inst)
 	case "sgmf":
-		runSGMF(inst)
+		err = runSGMF(w, inst)
 	default:
-		fail("unknown architecture %q", *arch)
+		return fmt.Errorf("unknown architecture %q", arch)
+	}
+	if err != nil {
+		return err
 	}
 
 	if err := inst.Check(inst.Global); err != nil {
-		fail("OUTPUT VALIDATION FAILED: %v", err)
+		return fmt.Errorf("OUTPUT VALIDATION FAILED: %w", err)
 	}
-	fmt.Println("output validated against the host reference.")
+	fmt.Fprintln(w, "output validated against the host reference.")
+	return nil
 }
 
-func runVGIW(inst *kernels.Instance, blocks, grid, trace bool) {
+func runVGIW(w io.Writer, inst *kernels.Instance, blocks, grid, trace bool) error {
 	cfg := core.DefaultConfig()
 	if grid {
 		cfg.Engine.Profile = true
 	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	ck, err := m.Compile(inst.Kernel)
 	if err != nil {
-		fail("compile: %v", err)
+		return fmt.Errorf("compile: %w", err)
 	}
 	res, err := m.Run(ck, inst.Launch, inst.Global)
 	if err != nil {
-		fail("run: %v", err)
+		return fmt.Errorf("run: %w", err)
 	}
 	e := power.VGIW(res, power.DefaultTable())
-	fmt.Printf("VGIW: %d cycles, %d tiles (tile size %d)\n", res.Cycles, res.Tiles, res.TileSize)
-	fmt.Printf("  reconfigurations: %d (%.3f%% of runtime)\n", res.Reconfigs, res.ConfigOverhead()*100)
-	fmt.Printf("  LVC: %d loads, %d stores (%.1f%% hit rate)\n", res.LVCLoads, res.LVCStores, hitPct(res))
-	fmt.Printf("  CVT: %d reads, %d writes\n", res.CVTReads, res.CVTWrites)
-	fmt.Printf("  ops by unit class: %v\n", res.Ops)
-	fmt.Printf("  energy: %.2f uJ (core %.2f, L1 %.2f, L2 %.2f, MC %.2f, DRAM %.2f)\n",
+	fmt.Fprintf(w, "VGIW: %d cycles, %d tiles (tile size %d)\n", res.Cycles, res.Tiles, res.TileSize)
+	fmt.Fprintf(w, "  reconfigurations: %d (%.3f%% of runtime)\n", res.Reconfigs, res.ConfigOverhead()*100)
+	fmt.Fprintf(w, "  LVC: %d loads, %d stores (%.1f%% hit rate)\n", res.LVCLoads, res.LVCStores, hitPct(res))
+	fmt.Fprintf(w, "  CVT: %d reads, %d writes\n", res.CVTReads, res.CVTWrites)
+	fmt.Fprintf(w, "  ops by unit class: %v\n", res.Ops)
+	fmt.Fprintf(w, "  energy: %.2f uJ (core %.2f, L1 %.2f, L2 %.2f, MC %.2f, DRAM %.2f)\n",
 		e.SystemLevel()/1e6, e.Core/1e6, e.L1/1e6, e.L2/1e6, e.MC/1e6, e.DRAM/1e6)
 	if blocks {
-		fmt.Println("  block schedule (block, threads, cycles):")
+		fmt.Fprintln(w, "  block schedule (block, threads, cycles):")
 		for _, br := range res.BlockRuns {
-			fmt.Printf("    @%d %-18s %6d threads %8d cycles\n",
+			fmt.Fprintf(w, "    @%d %-18s %6d threads %8d cycles\n",
 				br.Block, ck.Kernel.Blocks[br.Block].Label, br.Threads, br.Cycles)
 		}
 	}
 	if grid {
-		printGrid(m, res)
+		printGrid(w, m, res)
 	}
 	if trace {
-		printTrace(ck, res)
+		printTrace(w, ck, res)
 	}
+	return nil
 }
 
 // printTrace renders the BBS schedule as a timeline: one bar per scheduled
 // vector, positioned by start cycle (the control-flow-coalescing Gantt).
-func printTrace(ck *compile.CompiledKernel, res *core.Result) {
+func printTrace(w io.Writer, ck *compile.CompiledKernel, res *core.Result) {
 	if len(res.BlockRuns) == 0 {
 		return
 	}
 	const width = 72
 	scale := float64(width) / float64(res.Cycles)
-	fmt.Printf("  schedule timeline (%d cycles across %d chars):\n", res.Cycles, width)
+	fmt.Fprintf(w, "  schedule timeline (%d cycles across %d chars):\n", res.Cycles, width)
 	shown := res.BlockRuns
 	const maxRows = 40
 	if len(shown) > maxRows {
@@ -144,17 +236,17 @@ func printTrace(ck *compile.CompiledKernel, res *core.Result) {
 		for i := 0; i < barLen; i++ {
 			bar[startCol+i] = '#'
 		}
-		fmt.Printf("    @%-2d %-14s |%s| %d thr\n",
+		fmt.Fprintf(w, "    @%-2d %-14s |%s| %d thr\n",
 			br.Block, ck.Kernel.Blocks[br.Block].Label, string(bar), br.Threads)
 	}
 	if len(res.BlockRuns) > maxRows {
-		fmt.Printf("    ... %d more schedules\n", len(res.BlockRuns)-maxRows)
+		fmt.Fprintf(w, "    ... %d more schedules\n", len(res.BlockRuns)-maxRows)
 	}
 }
 
 // printGrid renders the fabric as a heatmap: one cell per unit, showing the
 // unit class and its share of all executed operations.
-func printGrid(m *core.Machine, res *core.Result) {
+func printGrid(w io.Writer, m *core.Machine, res *core.Result) {
 	g := m.Grid()
 	issues := make([]uint64, g.NumUnits())
 	var total uint64
@@ -193,49 +285,51 @@ func printGrid(m *core.Machine, res *core.Result) {
 		}
 		cells[u.Y][u.X] = letter[u.Class] + heat
 	}
-	fmt.Println("  fabric occupancy (A=alu X=scu M=ldst V=lvu J=sju C=cvu; load 0..9, '.' idle):")
+	fmt.Fprintln(w, "  fabric occupancy (A=alu X=scu M=ldst V=lvu J=sju C=cvu; load 0..9, '.' idle):")
 	for _, row := range cells {
-		fmt.Print("    ")
+		fmt.Fprint(w, "    ")
 		for _, c := range row {
-			fmt.Printf("%-3s", c)
+			fmt.Fprintf(w, "%-3s", c)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func runSIMT(inst *kernels.Instance) {
+func runSIMT(w io.Writer, inst *kernels.Instance) error {
 	ck, err := compile.Compile(inst.Kernel)
 	if err != nil {
-		fail("compile: %v", err)
+		return fmt.Errorf("compile: %w", err)
 	}
 	res, err := simt.NewMachine(simt.DefaultConfig()).Run(ck, inst.Launch, inst.Global)
 	if err != nil {
-		fail("run: %v", err)
+		return fmt.Errorf("run: %w", err)
 	}
 	e := power.SIMT(res, power.DefaultTable())
-	fmt.Printf("SIMT (Fermi-like SM): %d cycles\n", res.Cycles)
-	fmt.Printf("  warp instructions: %d (%d thread-instructions, %d masked lanes)\n",
+	fmt.Fprintf(w, "SIMT (Fermi-like SM): %d cycles\n", res.Cycles)
+	fmt.Fprintf(w, "  warp instructions: %d (%d thread-instructions, %d masked lanes)\n",
 		res.WarpInstrs, res.ThreadInstrs, res.MaskedLanes)
-	fmt.Printf("  register file: %d reads, %d writes\n", res.RFReads, res.RFWrites)
-	fmt.Printf("  divergences: %d, barriers: %d\n", res.Divergences, res.Barriers)
-	fmt.Printf("  L1 transactions: %d, shared transactions: %d\n", res.L1Trans, res.ShTrans)
-	fmt.Printf("  energy: %.2f uJ (core %.2f)\n", e.SystemLevel()/1e6, e.Core/1e6)
+	fmt.Fprintf(w, "  register file: %d reads, %d writes\n", res.RFReads, res.RFWrites)
+	fmt.Fprintf(w, "  divergences: %d, barriers: %d\n", res.Divergences, res.Barriers)
+	fmt.Fprintf(w, "  L1 transactions: %d, shared transactions: %d\n", res.L1Trans, res.ShTrans)
+	fmt.Fprintf(w, "  energy: %.2f uJ (core %.2f)\n", e.SystemLevel()/1e6, e.Core/1e6)
+	return nil
 }
 
-func runSGMF(inst *kernels.Instance) {
+func runSGMF(w io.Writer, inst *kernels.Instance) error {
 	m, err := sgmf.NewMachine(sgmf.DefaultConfig())
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	res, err := m.Run(inst.Kernel, inst.Launch, inst.Global)
 	if err != nil {
-		fail("run: %v (SGMF cannot map kernels with loops, barriers, or oversized graphs)", err)
+		return fmt.Errorf("run: %w (SGMF cannot map kernels with loops, barriers, or oversized graphs)", err)
 	}
 	e := power.SGMF(res, power.DefaultTable())
-	fmt.Printf("SGMF: %d cycles\n", res.Cycles)
-	fmt.Printf("  whole-kernel graph: %d nodes, %d replicas\n", res.GraphNodes, res.Replicas)
-	fmt.Printf("  predicated-off memory ops (divergence waste): %d\n", res.SkippedMemOps)
-	fmt.Printf("  energy: %.2f uJ (core %.2f)\n", e.SystemLevel()/1e6, e.Core/1e6)
+	fmt.Fprintf(w, "SGMF: %d cycles\n", res.Cycles)
+	fmt.Fprintf(w, "  whole-kernel graph: %d nodes, %d replicas\n", res.GraphNodes, res.Replicas)
+	fmt.Fprintf(w, "  predicated-off memory ops (divergence waste): %d\n", res.SkippedMemOps)
+	fmt.Fprintf(w, "  energy: %.2f uJ (core %.2f)\n", e.SystemLevel()/1e6, e.Core/1e6)
+	return nil
 }
 
 func hitPct(res *core.Result) float64 {

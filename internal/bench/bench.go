@@ -6,8 +6,13 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"vgiw/internal/compile"
 	"vgiw/internal/core"
@@ -26,17 +31,67 @@ type Options struct {
 	Power power.Table
 	// SkipSGMF disables the SGMF runs (they re-run the kernel a third time).
 	SkipSGMF bool
+	// Parallelism caps how many kernel runs execute concurrently. Each run
+	// builds its own workload instance, machines, and memory image, so runs
+	// share no mutable state and the results are bit-identical to a serial
+	// sweep. 0 (the zero value) means runtime.NumCPU(); 1 forces the serial
+	// path.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's machine configurations.
 func DefaultOptions() Options {
 	return Options{
-		Scale: 1,
-		VGIW:  core.DefaultConfig(),
-		SIMT:  simt.DefaultConfig(),
-		SGMF:  sgmf.DefaultConfig(),
-		Power: power.DefaultTable(),
+		Scale:       1,
+		VGIW:        core.DefaultConfig(),
+		SIMT:        simt.DefaultConfig(),
+		SGMF:        sgmf.DefaultConfig(),
+		Power:       power.DefaultTable(),
+		Parallelism: runtime.NumCPU(),
 	}
+}
+
+// workers resolves Parallelism for a sweep of n independent work items.
+func (o Options) workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(i) for every i in [0,n), fanning the calls across the
+// options' worker pool. fn must be safe to call concurrently for distinct i.
+func (o Options) forEach(n int, fn func(i int)) {
+	w := o.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for ; w > 0; w-- {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // KernelRun holds one benchmark's results on all machines.
@@ -51,16 +106,27 @@ type KernelRun struct {
 	EnergyVGIW power.Breakdown
 	EnergySIMT power.Breakdown
 	EnergySGMF power.Breakdown // valid when SGMF != nil
+
+	// Elapsed is the wall-clock time this kernel's simulations took (all
+	// machines, including validation). It is host timing, not a simulated
+	// metric, so determinism checks must ignore it.
+	Elapsed time.Duration
 }
 
-// Speedup is Figure 7's metric: SIMT cycles / VGIW cycles.
+// Speedup is Figure 7's metric: SIMT cycles / VGIW cycles. A degenerate
+// zero-cycle run reports 0 rather than leaking +Inf/NaN into geomeans
+// (Geomean skips non-positive values).
 func (k *KernelRun) Speedup() float64 {
+	if k.VGIW.Cycles == 0 {
+		return 0
+	}
 	return float64(k.SIMT.Cycles) / float64(k.VGIW.Cycles)
 }
 
-// SpeedupVsSGMF is Figure 8's metric (0 when SGMF cannot run the kernel).
+// SpeedupVsSGMF is Figure 8's metric (0 when SGMF cannot run the kernel or
+// the VGIW run is degenerate).
 func (k *KernelRun) SpeedupVsSGMF() float64 {
-	if k.SGMF == nil {
+	if k.SGMF == nil || k.VGIW.Cycles == 0 {
 		return 0
 	}
 	return float64(k.SGMF.Cycles) / float64(k.VGIW.Cycles)
@@ -102,12 +168,13 @@ func (k *KernelRun) EnergyEffVsSGMF() float64 {
 
 // RunOne executes one benchmark on all machines, validating each result.
 func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
+	start := time.Now()
 	out := &KernelRun{Spec: spec}
 
 	// VGIW.
 	inst, err := spec.Build(opt.Scale)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: build: %w", spec.Name, err)
 	}
 	mv, err := core.NewMachine(opt.VGIW)
 	if err != nil {
@@ -132,11 +199,11 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 	// CUDA compile would be).
 	inst, err = spec.Build(opt.Scale)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: build: %w", spec.Name, err)
 	}
 	cks, err := compile.Compile(inst.Kernel)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%s: simt compile: %w", spec.Name, err)
 	}
 	rs, err := simt.NewMachine(opt.SIMT).Run(cks, inst.Launch, inst.Global)
 	if err != nil {
@@ -152,7 +219,7 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 	if spec.SGMF && !opt.SkipSGMF {
 		inst, err = spec.Build(opt.Scale)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: build: %w", spec.Name, err)
 		}
 		mg, err := sgmf.NewMachine(opt.SGMF)
 		if err != nil {
@@ -168,20 +235,64 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 		out.SGMF = rg
 		out.EnergySGMF = power.SGMF(rg, opt.Power)
 	}
+	out.Elapsed = time.Since(start)
 	return out, nil
+}
+
+// RunMatrix executes the given kernel specs across the options' worker pool
+// (each kernel internally runs on every machine). Runs are independent —
+// every one builds a fresh workload instance, machines, and memory image —
+// so the results are identical to a serial sweep regardless of Parallelism.
+//
+// A failing kernel does not abort the sweep: RunMatrix returns the runs that
+// completed (in spec order) together with the joined per-kernel errors, so
+// callers can report which kernels failed and still use the rest.
+func RunMatrix(specs []kernels.Spec, opt Options) ([]*KernelRun, error) {
+	runs := make([]*KernelRun, len(specs))
+	errs := make([]error, len(specs))
+	opt.forEach(len(specs), func(i int) {
+		runs[i], errs[i] = RunOne(specs[i], opt)
+	})
+	out := make([]*KernelRun, 0, len(specs))
+	for _, kr := range runs {
+		if kr != nil {
+			out = append(out, kr)
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 // RunAll executes the full registry.
 func RunAll(opt Options) ([]*KernelRun, error) {
-	var runs []*KernelRun
-	for _, spec := range kernels.All() {
-		kr, err := RunOne(spec, opt)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, kr)
-	}
-	return runs, nil
+	return RunMatrix(kernels.All(), opt)
+}
+
+// SuiteResult is a full-registry sweep plus host-side performance metadata
+// (wall clock, parallelism, allocation count) for the JSON export, so the
+// simulator's own performance trajectory is regressable across PRs.
+type SuiteResult struct {
+	Runs        []*KernelRun
+	WallClock   time.Duration
+	Parallelism int    // workers actually used
+	Mallocs     uint64 // heap allocations during the sweep (process-wide)
+}
+
+// RunSuite executes the full registry and records the sweep's wall-clock
+// time and allocation count.
+func RunSuite(opt Options) (*SuiteResult, error) {
+	specs := kernels.All()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	runs, err := RunMatrix(specs, opt)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return &SuiteResult{
+		Runs:        runs,
+		WallClock:   wall,
+		Parallelism: opt.workers(len(specs)),
+		Mallocs:     m1.Mallocs - m0.Mallocs,
+	}, err
 }
 
 // Geomean returns the geometric mean of positive values (zeros skipped).

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"vgiw/internal/core"
@@ -231,41 +232,64 @@ func median(vals []float64) float64 {
 // LVCSweep is the LVC design-space exploration the paper omits ("for
 // brevity, we do not present a full design space exploration of the LVC size
 // and only show results for a 64KB LVC", §3.4): VGIW cycles on the
-// live-value-heavy kernels across LVC sizes.
+// live-value-heavy kernels across LVC sizes. The kernel×size cells are
+// independent (each builds its own instance and machine), so the sweep fans
+// out across the options' worker pool.
 func LVCSweep(opt Options, sizesKB []int, kernelNames []string) (*report.Table, error) {
-	t := &report.Table{
-		Title:   "LVC size sweep (extension: §3.4 design space)",
-		Headers: append([]string{"Kernel"}, kbHeaders(sizesKB)...),
-	}
-	for _, name := range kernelNames {
+	specs := make([]kernels.Spec, len(kernelNames))
+	for i, name := range kernelNames {
 		spec, ok := kernels.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown kernel %s", name)
 		}
-		row := []any{name}
-		for _, kb := range sizesKB {
-			cfg := opt.VGIW
-			cfg.LVC.SizeBytes = kb << 10
-			inst, err := spec.Build(opt.Scale)
-			if err != nil {
-				return nil, err
-			}
-			m, err := core.NewMachine(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := m.RunKernel(inst.Kernel, inst.Launch, inst.Global)
-			if err != nil {
-				return nil, err
-			}
-			if err := inst.Check(inst.Global); err != nil {
-				return nil, fmt.Errorf("%s @%dKB: %w", name, kb, err)
-			}
-			row = append(row, res.Cycles)
+		specs[i] = spec
+	}
+
+	nCells := len(specs) * len(sizesKB)
+	cycles := make([]int64, nCells)
+	errs := make([]error, nCells)
+	opt.forEach(nCells, func(cell int) {
+		spec, kb := specs[cell/len(sizesKB)], sizesKB[cell%len(sizesKB)]
+		cycles[cell], errs[cell] = lvcCell(opt, spec, kb)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	t := &report.Table{
+		Title:   "LVC size sweep (extension: §3.4 design space)",
+		Headers: append([]string{"Kernel"}, kbHeaders(sizesKB)...),
+	}
+	for i, spec := range specs {
+		row := []any{spec.Name}
+		for j := range sizesKB {
+			row = append(row, cycles[i*len(sizesKB)+j])
 		}
 		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// lvcCell runs one kernel at one LVC size and returns its VGIW cycle count.
+func lvcCell(opt Options, spec kernels.Spec, kb int) (int64, error) {
+	cfg := opt.VGIW
+	cfg.LVC.SizeBytes = kb << 10
+	inst, err := spec.Build(opt.Scale)
+	if err != nil {
+		return 0, fmt.Errorf("%s: build: %w", spec.Name, err)
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := m.RunKernel(inst.Kernel, inst.Launch, inst.Global)
+	if err != nil {
+		return 0, fmt.Errorf("%s @%dKB: %w", spec.Name, kb, err)
+	}
+	if err := inst.Check(inst.Global); err != nil {
+		return 0, fmt.Errorf("%s @%dKB: %w", spec.Name, kb, err)
+	}
+	return res.Cycles, nil
 }
 
 func kbHeaders(sizesKB []int) []string {

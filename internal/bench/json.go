@@ -31,9 +31,16 @@ type JSONRun struct {
 	RFAccesses    uint64  `json:"rf_accesses"`
 	EnergyVGIWPJ  float64 `json:"energy_vgiw_pj"`
 	EnergyFermiPJ float64 `json:"energy_fermi_pj"`
+
+	// ElapsedMS is host wall-clock time for this kernel's simulations —
+	// simulator performance telemetry, not a simulated metric.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
-// JSONReport bundles the whole suite plus the headline geomeans.
+// JSONReport bundles the whole suite plus the headline geomeans and, when
+// produced from a SuiteResult, the harness's own performance telemetry
+// (wall clock, parallelism, allocations) so future optimization PRs have a
+// trajectory to regress against.
 type JSONReport struct {
 	Scale int       `json:"scale"`
 	Runs  []JSONRun `json:"runs"`
@@ -43,6 +50,11 @@ type JSONReport struct {
 	GeomeanEffCore   float64 `json:"geomean_eff_core"`
 	GeomeanVsSGMF    float64 `json:"geomean_speedup_vs_sgmf"`
 	MeanLVCOverRF    float64 `json:"mean_lvc_over_rf"`
+
+	// Harness telemetry (host-side, omitted by the plain BuildJSON path).
+	WallClockMS float64 `json:"wall_clock_ms,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	Mallocs     uint64  `json:"mallocs,omitempty"`
 }
 
 // BuildJSON converts harness results into the export form.
@@ -71,6 +83,7 @@ func BuildJSON(runs []*KernelRun, scale int) JSONReport {
 			EnergyVGIWPJ:  r.EnergyVGIW.SystemLevel(),
 			EnergyFermiPJ: r.EnergySIMT.SystemLevel(),
 		}
+		jr.ElapsedMS = float64(r.Elapsed.Microseconds()) / 1e3
 		if r.SGMF != nil {
 			jr.SGMFCycles = r.SGMF.Cycles
 			jr.SpeedupVsSGMF = r.SpeedupVsSGMF()
@@ -96,4 +109,21 @@ func WriteJSON(w io.Writer, runs []*KernelRun, scale int) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(BuildJSON(runs, scale))
+}
+
+// Report converts a suite sweep to the export form, including the harness
+// telemetry fields.
+func (s *SuiteResult) Report(scale int) JSONReport {
+	rep := BuildJSON(s.Runs, scale)
+	rep.WallClockMS = float64(s.WallClock.Microseconds()) / 1e3
+	rep.Parallelism = s.Parallelism
+	rep.Mallocs = s.Mallocs
+	return rep
+}
+
+// WriteJSON emits the suite report (with telemetry) as indented JSON.
+func (s *SuiteResult) WriteJSON(w io.Writer, scale int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Report(scale))
 }

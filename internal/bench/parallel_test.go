@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"vgiw/internal/core"
+	"vgiw/internal/kernels"
+	"vgiw/internal/simt"
+)
+
+// reportFingerprint renders a run set to the JSON export form with the
+// host-timing field cleared, so two sweeps can be compared bit-for-bit on
+// simulated results only.
+func reportFingerprint(t *testing.T, runs []*KernelRun) string {
+	t.Helper()
+	rep := BuildJSON(runs, 1)
+	for i := range rep.Runs {
+		rep.Runs[i].ElapsedMS = 0
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestParallelDeterminism is the harness's core safety property: a parallel
+// sweep must be indistinguishable from a serial one. Every kernel run builds
+// its own instance, machines, and memory image, so an 8-worker sweep and a
+// serial sweep must produce byte-identical exports (host timing aside).
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	serial := DefaultOptions()
+	serial.Parallelism = 1
+	sRuns, err := RunAll(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := DefaultOptions()
+	par.Parallelism = 8
+	pRuns, err := RunAll(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFP, pFP := reportFingerprint(t, sRuns), reportFingerprint(t, pRuns)
+	if sFP != pFP {
+		t.Errorf("parallel sweep diverged from serial sweep:\nserial:   %s\nparallel: %s", sFP, pFP)
+	}
+}
+
+// TestRunMatrixPartialFailure: a failing kernel must not discard the rest of
+// the sweep. RunMatrix returns the completed runs in spec order together
+// with every failure joined into one error.
+func TestRunMatrixPartialFailure(t *testing.T) {
+	all := kernels.All()
+	boom := kernels.Spec{
+		Name: "broken.kernel",
+		Build: func(scale int) (*kernels.Instance, error) {
+			return nil, fmt.Errorf("synthetic build failure")
+		},
+	}
+	bang := kernels.Spec{
+		Name: "broken.kernel2",
+		Build: func(scale int) (*kernels.Instance, error) {
+			return nil, errors.New("second synthetic failure")
+		},
+	}
+	specs := []kernels.Spec{all[0], boom, all[1], bang}
+	opt := DefaultOptions()
+	opt.Parallelism = 4
+	runs, err := RunMatrix(specs, opt)
+	if err == nil {
+		t.Fatal("RunMatrix returned nil error despite two failing kernels")
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d completed runs, want 2 (partial results must survive)", len(runs))
+	}
+	if runs[0].Spec.Name != all[0].Name || runs[1].Spec.Name != all[1].Name {
+		t.Errorf("completed runs out of spec order: %s, %s", runs[0].Spec.Name, runs[1].Spec.Name)
+	}
+	msg := err.Error()
+	for _, want := range []string{"synthetic build failure", "second synthetic failure"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// Degenerate zero-cycle results must report 0, not +Inf/NaN — Geomean skips
+// non-positive values, so a 0 drops out of the headline numbers cleanly.
+func TestMetricsZeroGuards(t *testing.T) {
+	k := &KernelRun{
+		VGIW: &core.Result{},
+		SIMT: &simt.Result{Cycles: 100},
+	}
+	if s := k.Speedup(); s != 0 {
+		t.Errorf("Speedup with zero VGIW cycles = %v, want 0", s)
+	}
+	if s := k.SpeedupVsSGMF(); s != 0 {
+		t.Errorf("SpeedupVsSGMF with nil SGMF = %v, want 0", s)
+	}
+	if v := k.LVCOverRF(); v != 0 {
+		t.Errorf("LVCOverRF with zero RF accesses = %v, want 0", v)
+	}
+	if g := Geomean([]float64{0, 2, 8}); g != 4 {
+		t.Errorf("Geomean skipping zeros = %v, want 4", g)
+	}
+}
+
+// TestWorkersResolution pins the Parallelism resolution rules the CLIs
+// depend on: 0 means NumCPU, and the worker count never exceeds the number
+// of work items nor drops below 1.
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		parallelism, n, want int
+	}{
+		{0, 100, runtime.NumCPU()},
+		{1, 100, 1},
+		{8, 3, 3},
+		{-5, 100, runtime.NumCPU()},
+		{4, 0, 1},
+	}
+	for _, c := range cases {
+		o := Options{Parallelism: c.parallelism}
+		if got := o.workers(c.n); got != c.want {
+			t.Errorf("workers(Parallelism=%d, n=%d) = %d, want %d", c.parallelism, c.n, got, c.want)
+		}
+	}
+}
+
+// BenchmarkRunAllParallel measures the full-suite sweep with the default
+// worker count; compare against BenchmarkRunAllSerial for the wall-clock
+// win on multi-core hosts.
+func BenchmarkRunAllParallel(b *testing.B) {
+	opt := DefaultOptions()
+	opt.Parallelism = runtime.NumCPU()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAll(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B) {
+	opt := DefaultOptions()
+	opt.Parallelism = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAll(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

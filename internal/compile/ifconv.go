@@ -97,13 +97,20 @@ func IfConvert(k *kir.Kernel) (*BlockDFG, error) {
 			}
 			// Merge register states. Use the last incoming state as the
 			// fallback and wrap selects for the others.
-			regs := make(map[kir.Reg]bool)
+			seen := make(map[kir.Reg]bool)
+			var regs []kir.Reg
 			for _, ic := range inc {
 				for r := range ic.st {
-					regs[r] = true
+					seen[r] = true
 				}
 			}
-			for r := range regs {
+			for r := range seen {
+				regs = append(regs, r)
+			}
+			// Sorted so synthesized selects get deterministic node order
+			// (map iteration order varies run to run).
+			sortRegs(regs)
+			for _, r := range regs {
 				cur, have := -1, false
 				allSame := true
 				for _, ic := range inc {

@@ -114,19 +114,26 @@ func AllocateLiveValues(k *kir.Kernel) *LiveValues {
 		// Loads: upward-exposed uses that are live-in.
 		for r := range f.UpwardUse {
 			if f.LiveIn[r] {
-				assign(r)
 				lv.Loads[bi] = append(lv.Loads[bi], r)
 			}
 		}
 		// Stores: definitions that are live-out.
 		for r := range f.Def {
 			if f.LiveOut[r] {
-				assign(r)
 				lv.Stores[bi] = append(lv.Stores[bi], r)
 			}
 		}
 		sortRegs(lv.Loads[bi])
 		sortRegs(lv.Stores[bi])
+		// Assign IDs from the sorted lists, not the map iterations above:
+		// the numbering must be a pure function of the kernel (block order,
+		// then register order) so repeated compiles agree bit-for-bit.
+		for _, r := range lv.Loads[bi] {
+			assign(r)
+		}
+		for _, r := range lv.Stores[bi] {
+			assign(r)
+		}
 	}
 	return lv
 }

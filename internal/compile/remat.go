@@ -73,18 +73,25 @@ func Rematerialize(k *kir.Kernel) {
 		if len(needed) == 0 {
 			continue
 		}
-		// Prepend fresh definitions and rewrite the block's uses.
+		// Prepend fresh definitions and rewrite the block's uses. Fresh
+		// register numbers are handed out in sorted source-register order —
+		// map iteration order would leak into the numbering and make
+		// repeated compiles disagree.
+		order := make([]kir.Reg, 0, len(needed))
+		for r := range needed {
+			order = append(order, r)
+		}
+		sortRegs(order)
 		replace := make(map[kir.Reg]kir.Reg, len(needed))
 		prefix := make([]kir.Instr, 0, len(needed))
-		for r, in := range needed {
+		for _, r := range order {
+			in := needed[r]
 			nr := kir.Reg(k.NumRegs)
 			k.NumRegs++
 			in.Dst = nr
 			prefix = append(prefix, in)
 			replace[r] = nr
 		}
-		// Deterministic order (map iteration is random).
-		sortInstrsByDst(prefix)
 		rewritten := make([]kir.Instr, 0, len(prefix)+len(b.Instrs))
 		rewritten = append(rewritten, prefix...)
 		local := make(map[kir.Reg]bool)
@@ -104,14 +111,6 @@ func Rematerialize(k *kir.Kernel) {
 			if nr, ok := replace[b.Term.Cond]; ok && !local[b.Term.Cond] {
 				b.Term.Cond = nr
 			}
-		}
-	}
-}
-
-func sortInstrsByDst(ins []kir.Instr) {
-	for i := 1; i < len(ins); i++ {
-		for j := i; j > 0 && ins[j].Dst < ins[j-1].Dst; j-- {
-			ins[j], ins[j-1] = ins[j-1], ins[j]
 		}
 	}
 }

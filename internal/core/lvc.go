@@ -84,3 +84,7 @@ func (l *LVC) Access(lv, tid int, write bool, value uint32, now int64) (uint32, 
 
 // Stats returns the cache-level statistics.
 func (l *LVC) Stats() mem.CacheStats { return l.cache.Stats }
+
+// Release returns the embedded cache's directory to the slab pool; the LVC
+// must not be accessed afterwards (Stats snapshots stay valid).
+func (l *LVC) Release() { l.cache.Release() }

@@ -52,6 +52,10 @@ type Machine struct {
 	cfg  Config
 	grid *fabric.Grid
 	eng  *engine.Engine
+
+	// threadScratch is the reusable coalesced-vector buffer handed to the
+	// engine each block run (the engine only reads it during the call).
+	threadScratch []int
 }
 
 // NewMachine builds the processor.
@@ -197,6 +201,10 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 	res.LVCStores = lvc.Stores
 	res.LVCStats = lvc.Stats()
 	res.MemStats = sys.Stats()
+	// Stats are snapshotted; recycle the cache directories for the next run
+	// (the parallel harness builds a fresh machine + memory system per run).
+	lvc.Release()
+	sys.Release()
 	return res, nil
 }
 
@@ -259,10 +267,11 @@ func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Place
 			}
 		}
 		rel := cvt.Drain(b)
-		threads := make([]int, len(rel))
-		for i, r := range rel {
-			threads[i] = base + r
+		threads := m.threadScratch[:0]
+		for _, r := range rel {
+			threads = append(threads, base+r)
 		}
+		m.threadScratch = threads
 		// Reconfigure unless the grid already holds this block's graph.
 		// Configurations are prefetched during the previous block's
 		// execution, so only the reset+feed cost lands on the critical
@@ -280,12 +289,16 @@ func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Place
 		}
 		br := BlockRun{Block: b, Threads: len(threads), Start: st.StartCycle, Cycles: st.Cycles()}
 		if m.cfg.Engine.Profile {
+			// The profiled engine returns a fresh Stats per run; the thread
+			// vector is scratch, so retain a copy.
 			br.Stats = st
-			br.ThreadIDs = threads
+			br.ThreadIDs = append([]int(nil), threads...)
 		}
 		res.BlockRuns = append(res.BlockRuns, br)
 		for cl, c := range st.Ops {
-			res.Ops[cl] += c
+			if c != 0 {
+				res.Ops[kir.UnitClass(cl)] += c
+			}
 		}
 		res.FPOps += st.FPOps
 		res.TokenHops += st.TokenHops

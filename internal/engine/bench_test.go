@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"testing"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/fabric"
+	"vgiw/internal/kir"
+	"vgiw/internal/mem"
+)
+
+// BenchmarkEngineHotPath streams a thread vector through a reused engine —
+// the steady state of a kernel run, where every block execution revisits the
+// same placement. After the first run sizes the engine's arenas, RunVector
+// must not allocate: the allocs/op report is the regression guard.
+func BenchmarkEngineHotPath(b *testing.B) {
+	bld := kir.NewBuilder("hotpath")
+	bld.SetParams(1)
+	bld.SetBlock(bld.NewBlock("entry"))
+	addr := bld.Add(bld.Param(0), bld.Tid())
+	v := bld.Load(addr, 0)
+	bld.Store(addr, 0, bld.FAdd(v, v))
+	bld.Ret()
+	k := bld.MustBuild()
+
+	grid, err := fabric.NewGrid(fabric.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck, err := compile.Compile(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := fabric.Place(grid, ck.DFGs[0], 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 512
+	launch := kir.Launch1D(n/32, 32, 0)
+	env, err := NewDataEnv(k, launch, make([]uint32, n), mem.NewSystem(mem.DefaultConfig(mem.WriteBack)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hooks := env.Hooks()
+	threads := make([]int, n)
+	for i := range threads {
+		threads[i] = i
+	}
+	e := New(grid, Options{})
+	// Warm-up run: grows the per-unit arenas to this placement's size.
+	if _, err := e.RunVector(p, threads, 0, hooks); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunVector(p, threads, 0, hooks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

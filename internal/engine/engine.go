@@ -66,14 +66,35 @@ type Options struct {
 	Profile bool
 }
 
+// ClassCounts is a dense per-unit-class counter array indexed by
+// kir.UnitClass. The engine increments it on every node execution, so it is
+// an array rather than a map to keep the hot path allocation-free.
+type ClassCounts [kir.NumUnitClasses]uint64
+
+// Map converts the counters to the map form used by the machine results
+// (zero classes omitted, matching the previous map-based accounting).
+func (c *ClassCounts) Map() map[kir.UnitClass]uint64 {
+	m := make(map[kir.UnitClass]uint64)
+	for cl, n := range c {
+		if n != 0 {
+			m[kir.UnitClass(cl)] = n
+		}
+	}
+	return m
+}
+
 // Stats aggregates the events of one vector execution.
+//
+// Unless Options.Profile is set, the *Stats returned by RunVector aliases
+// engine-owned scratch and is only valid until the next RunVector call on
+// the same engine; callers that retain it across runs must copy it.
 type Stats struct {
 	Injected   int
 	StartCycle int64
 	EndCycle   int64
 
 	// Executed node counts by unit class (per thread executions).
-	Ops map[kir.UnitClass]uint64
+	Ops ClassCounts
 	// FPOps counts floating-point ALU-class node executions (the energy
 	// model prices FP lanes above integer lanes).
 	FPOps uint64
@@ -126,7 +147,9 @@ func OpLatency(op kir.Op) int64 {
 }
 
 // Engine executes placed graphs. Reusable across calls; not safe for
-// concurrent use.
+// concurrent use. All per-run scratch lives in a per-engine arena that is
+// resized (never reallocated once warm) between runs, so steady-state token
+// execution allocates nothing.
 type Engine struct {
 	grid *fabric.Grid
 	opt  Options
@@ -134,10 +157,20 @@ type Engine struct {
 	// per-run scratch, sized to the current graph
 	vals     []uint32
 	done     []int64
-	units    []mem.SlotAlloc          // per-unit issue slots (1 initiation/cycle)
-	scuPool  map[int]*mem.Outstanding // per-SCU non-pipelined instance pools
-	resBuf   map[int]*mem.Outstanding // per-LDST reservation buffers
-	lastDone [][]int64                // [replica][node] completion of previous thread
+	units    []mem.SlotAlloc   // per-unit issue slots (1 initiation/cycle)
+	scuPool  []mem.Outstanding // per-unit non-pipelined SCU instance pools (dense by unit id)
+	resBuf   []mem.Outstanding // per-unit LDST reservation buffers (dense by unit id)
+	lastDone []int64           // [replica*nNodes+node] completion of previous thread
+	nNodes   int               // stride of lastDone
+
+	// per-run injection bookkeeping, reused across runs
+	injNext []int64
+	vcs     []mem.Outstanding // per-replica virtual-channel occupancy
+
+	// stats is the reusable result buffer handed out by RunVector when
+	// profiling is off (profiled runs get a fresh Stats, since callers
+	// retain those per block).
+	stats Stats
 }
 
 // New creates an engine bound to a grid.
@@ -153,59 +186,71 @@ func (e *Engine) RunVector(p *fabric.Placement, threads []int, startCycle int64,
 	nNodes := len(g.Nodes)
 	cfg := e.grid.Config()
 
-	st := &Stats{
+	// Profiled runs hand out a fresh Stats (callers keep one per block);
+	// otherwise the engine-owned buffer is recycled, keeping the steady
+	// state allocation-free.
+	st := &e.stats
+	if e.opt.Profile {
+		st = &Stats{}
+	}
+	*st = Stats{
 		Injected:   len(threads),
 		StartCycle: startCycle,
 		EndCycle:   startCycle,
-		Ops:        make(map[kir.UnitClass]uint64),
 	}
 	if len(threads) == 0 {
 		return st, nil
 	}
 
 	// Reset per-run unit state (the grid is reset between blocks, §3.2).
+	// The scratch arrays keep their backing storage across runs.
+	nUnits := e.grid.NumUnits()
 	e.vals = resize(e.vals, nNodes)
 	e.done = resizeI64(e.done, nNodes)
-	if cap(e.units) < e.grid.NumUnits() {
-		e.units = make([]mem.SlotAlloc, e.grid.NumUnits())
+	if cap(e.units) < nUnits {
+		e.units = make([]mem.SlotAlloc, nUnits)
+		e.scuPool = make([]mem.Outstanding, nUnits)
+		e.resBuf = make([]mem.Outstanding, nUnits)
 	}
-	e.units = e.units[:e.grid.NumUnits()]
+	e.units = e.units[:nUnits]
+	e.scuPool = e.scuPool[:nUnits]
+	e.resBuf = e.resBuf[:nUnits]
 	for i := range e.units {
 		e.units[i].Reset()
+		e.scuPool[i].Reset(cfg.SCUInstances)
+		e.resBuf[i].Reset(cfg.ReservationSlots)
 	}
-	e.scuPool = make(map[int]*mem.Outstanding)
-	e.resBuf = make(map[int]*mem.Outstanding)
-	e.lastDone = make([][]int64, p.Replicas)
-	for r := range e.lastDone {
-		e.lastDone[r] = make([]int64, nNodes)
-	}
+	e.nNodes = nNodes
+	e.lastDone = resizeI64(e.lastDone, p.Replicas*nNodes)
+	clear(e.lastDone)
 
 	// Per-replica injection bookkeeping: the initiator CVU injects one
 	// thread per cycle, and a thread needs a free virtual channel (token
 	// buffer entry). Channels free as their threads complete — in any
 	// order, so threads stalled on memory do not hold others back.
-	injNext := make([]int64, p.Replicas)
-	for r := range injNext {
-		injNext[r] = startCycle
+	e.injNext = resizeI64(e.injNext, p.Replicas)
+	if cap(e.vcs) < p.Replicas {
+		e.vcs = make([]mem.Outstanding, p.Replicas)
 	}
-	vcs := make([]*mem.Outstanding, p.Replicas)
-	for r := range vcs {
-		vcs[r] = mem.NewOutstanding(cfg.TokenBufDepth)
+	e.vcs = e.vcs[:p.Replicas]
+	for r := range e.vcs {
+		e.injNext[r] = startCycle
+		e.vcs[r].Reset(cfg.TokenBufDepth)
 	}
 
 	for j, tid := range threads {
 		r := j % p.Replicas
-		inject := vcs[r].Admit(injNext[r])
-		if inject < injNext[r] {
-			inject = injNext[r]
+		inject := e.vcs[r].Admit(e.injNext[r])
+		if inject < e.injNext[r] {
+			inject = e.injNext[r]
 		}
-		injNext[r] = inject + 1
+		e.injNext[r] = inject + 1
 
 		end, err := e.runThread(p, r, tid, inject, h, st)
 		if err != nil {
 			return nil, err
 		}
-		vcs[r].Record(end)
+		e.vcs[r].Record(end)
 		if end > st.EndCycle {
 			st.EndCycle = end
 		}
@@ -239,7 +284,7 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 		st.TokenTransfers += uint64(len(n.In) + len(n.CtlIn))
 
 		if e.opt.InOrderThreads {
-			if t := e.lastDone[r][n.ID]; t > ready {
+			if t := e.lastDone[r*e.nNodes+n.ID]; t > ready {
 				ready = t
 			}
 		}
@@ -308,7 +353,7 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 		}
 		e.vals[n.ID] = val
 		e.done[n.ID] = done
-		e.lastDone[r][n.ID] = done
+		e.lastDone[r*e.nNodes+n.ID] = done
 		if done > threadEnd {
 			threadEnd = done
 		}
@@ -386,11 +431,7 @@ func (e *Engine) issuePipelined(unit int, ready int64) int64 {
 // latency, but a new operation can start whenever an instance and the issue
 // port are free.
 func (e *Engine) issueSCU(unit int, ready, lat int64) int64 {
-	pool := e.scuPool[unit]
-	if pool == nil {
-		pool = mem.NewOutstanding(e.grid.Config().SCUInstances)
-		e.scuPool[unit] = pool
-	}
+	pool := &e.scuPool[unit]
 	start := e.issuePipelined(unit, pool.Admit(ready))
 	pool.Record(start + lat)
 	return start
@@ -400,12 +441,7 @@ func (e *Engine) issueSCU(unit int, ready, lat int64) int64 {
 // operations outstanding per LDST unit. A slot frees when its own operation
 // completes, so hits drain around a stalled miss.
 func (e *Engine) issueLDST(unit int, ready int64) int64 {
-	buf := e.resBuf[unit]
-	if buf == nil {
-		buf = mem.NewOutstanding(e.grid.Config().ReservationSlots)
-		e.resBuf[unit] = buf
-	}
-	return e.issuePipelined(unit, buf.Admit(ready))
+	return e.issuePipelined(unit, e.resBuf[unit].Admit(ready))
 }
 
 func (e *Engine) noteLDSTCompletion(unit int, done int64) {

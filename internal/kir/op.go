@@ -108,6 +108,10 @@ const (
 	ClassLVU                   // live value load/store unit (inserted by the compiler)
 	ClassSJU                   // split/join unit (inserted by the compiler)
 	ClassCVU                   // control vector unit (thread initiator/terminator)
+
+	// NumUnitClasses is the number of unit classes; dense per-class counter
+	// arrays index by UnitClass.
+	NumUnitClasses = int(ClassCVU) + 1
 )
 
 func (c UnitClass) String() string {

@@ -5,7 +5,10 @@
 // lives in a flat word-addressed array owned by the simulators.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // WritePolicy selects the cache write behaviour.
 type WritePolicy uint8
@@ -86,8 +89,11 @@ type line struct {
 // Cache is a banked, set-associative cache timing model. It tracks presence
 // and dirtiness, not data. Addresses are byte addresses.
 type Cache struct {
-	cfg   CacheConfig
-	sets  [][]line
+	cfg CacheConfig
+	// lines is a flat slab of sets*ways entries; set s occupies
+	// lines[s*ways : (s+1)*ways]. Flat storage keeps the whole directory in
+	// one allocation so it can be recycled through linePool across runs.
+	lines []line
 	banks []SlotAlloc
 	// Per-bank recent-access rings, for read combining: concurrent reads of
 	// one line (a broadcast — every thread loading the same table entry, or
@@ -112,20 +118,50 @@ const (
 	combineDepth  = 8
 )
 
+// linePool recycles cache directory slabs across runs. The experiment
+// harness builds a fresh memory system per kernel run (tens of thousands of
+// lines for the L2 alone); with the parallel harness those runs churn fast
+// enough that recycling the slabs measurably cuts allocator pressure.
+var linePool = sync.Pool{}
+
+// newLineSlab returns a zeroed slab of n entries, reusing a pooled one when
+// it is large enough.
+func newLineSlab(n int) []line {
+	if v := linePool.Get(); v != nil {
+		if s := v.([]line); cap(s) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
+		// Too small for this geometry; drop it and allocate.
+	}
+	return make([]line, n)
+}
+
 // NewCache builds a cache; the configuration must be valid.
 func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
-	}
 	recent := make([][]combineEntry, cfg.Banks)
 	for i := range recent {
 		recent[i] = make([]combineEntry, 0, combineDepth)
 	}
-	return &Cache{cfg: cfg, sets: sets, banks: make([]SlotAlloc, cfg.Banks), recent: recent}
+	return &Cache{
+		cfg:    cfg,
+		lines:  newLineSlab(cfg.Sets() * cfg.Ways),
+		banks:  make([]SlotAlloc, cfg.Banks),
+		recent: recent,
+	}
+}
+
+// Release returns the directory slab to the pool. The cache must not be
+// accessed afterwards; Stats remain readable.
+func (c *Cache) Release() {
+	if c.lines != nil {
+		linePool.Put(c.lines)
+		c.lines = nil
+	}
 }
 
 // Config returns the cache configuration.
@@ -191,7 +227,7 @@ func (c *Cache) AccessBanked(lineAddr, bankSel int64, write bool, now int64) Acc
 		c.Stats.Reads++
 	}
 
-	ways := c.sets[set]
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == lineAddr {
 			res.Hit = true
@@ -262,7 +298,8 @@ func absDiff(a, b int64) int64 {
 // Contains reports whether the line is present (no state change); used by
 // tests.
 func (c *Cache) Contains(lineAddr int64) bool {
-	for _, l := range c.sets[c.setOf(lineAddr)] {
+	set := c.setOf(lineAddr)
+	for _, l := range c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways] {
 		if l.valid && l.tag == lineAddr {
 			return true
 		}

@@ -99,6 +99,15 @@ func NewOutstanding(capacity int) *Outstanding {
 	return &Outstanding{cap: capacity}
 }
 
+// Reset re-arms the buffer for a new run with the given capacity, keeping
+// the in-flight list's storage. This lets callers embed Outstanding by value
+// in reusable scratch arrays (the engine's per-unit pools) so steady-state
+// runs allocate nothing.
+func (o *Outstanding) Reset(capacity int) {
+	o.cap = capacity
+	o.done = o.done[:0]
+}
+
 // admit returns the earliest cycle >= ready at which a slot is available,
 // retiring completed operations as time advances.
 func (o *Outstanding) Admit(ready int64) int64 {

@@ -124,13 +124,14 @@ func (m *Machine) Run(k *kir.Kernel, launch kir.Launch, global []uint32) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Release() // stats snapshotted below; recycle the directories
 	return &Result{
 		Kernel:         k.Name,
 		Threads:        launch.Threads(),
 		Cycles:         st.EndCycle,
 		GraphNodes:     len(p.Graph.Nodes),
 		Replicas:       p.Replicas,
-		Ops:            st.Ops,
+		Ops:            st.Ops.Map(),
 		FPOps:          st.FPOps,
 		TokenHops:      st.TokenHops,
 		TokenTransfers: st.TokenTransfers,

@@ -178,6 +178,7 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 	}
 	r.res.Cycles = r.cycle
 	r.res.MemStats = r.sys.Stats()
+	r.sys.Release() // stats snapshotted; recycle the cache directories
 	return r.res, nil
 }
 
@@ -201,6 +202,11 @@ type run struct {
 	// Shared execution ports: next cycle the ALU array / SFUs / LD-ST
 	// units accept a new warp instruction.
 	portFree [3]int64
+
+	// memScratch dedupes line/bank ids in execMem. Reused across
+	// instructions so the hot path allocates nothing; lane order (not map
+	// order) decides the access sequence, keeping runs reproducible.
+	memScratch []int64
 }
 
 // Execution port indices.
@@ -506,8 +512,19 @@ func (r *run) execMem(w *warp, in kir.Instr, mask uint32) (int64, int, error) {
 	lineWords := int64(r.m.cfg.Mem.L1.LineBytes / 4)
 
 	done := r.cycle + 1
-	lines := make(map[int64]bool)
-	banks := make(map[int64]bool)
+	// ids collects the distinct line (global) or bank (shared) numbers the
+	// active lanes touch, deduped in lane order with a linear scan — the warp
+	// is at most 32 lanes wide, and unlike a map the resulting access order
+	// is reproducible (bank/port timing depends on it).
+	ids := r.memScratch[:0]
+	addID := func(id int64) {
+		for _, v := range ids {
+			if v == id {
+				return
+			}
+		}
+		ids = append(ids, id)
+	}
 	for l := 0; l < r.m.cfg.WarpSize; l++ {
 		if mask&(1<<l) == 0 {
 			continue
@@ -525,7 +542,7 @@ func (r *run) execMem(w *warp, in kir.Instr, mask uint32) (int64, int, error) {
 			} else {
 				regs[in.Dst] = sh[addr]
 			}
-			banks[addr%int64(r.m.cfg.Mem.SharedBanks)] = true
+			addID(addr % int64(r.m.cfg.Mem.SharedBanks))
 			continue
 		}
 		if addr < 0 || addr >= int64(len(r.global)) {
@@ -537,27 +554,28 @@ func (r *run) execMem(w *warp, in kir.Instr, mask uint32) (int64, int, error) {
 		} else {
 			regs[in.Dst] = r.global[addr]
 		}
-		lines[addr/lineWords] = true
+		addID(addr / lineWords)
 	}
+	r.memScratch = ids
 
 	if sharedSpace {
 		// Bank conflicts serialize; each distinct bank is one transaction.
-		r.res.ShTrans += uint64(len(banks))
-		for b := range banks {
+		r.res.ShTrans += uint64(len(ids))
+		for _, b := range ids {
 			if t := r.sys.AccessShared(b, r.cycle); t > done {
 				done = t
 			}
 		}
-		return done, len(banks), nil
+		return done, len(ids), nil
 	}
 	// Coalescing: one transaction per distinct 128B line (Fermi-style).
-	r.res.L1Trans += uint64(len(lines))
-	for line := range lines {
+	r.res.L1Trans += uint64(len(ids))
+	for _, line := range ids {
 		if t := r.sys.AccessLine(line, write, r.cycle); t > done {
 			done = t
 		}
 	}
-	return done, len(lines), nil
+	return done, len(ids), nil
 }
 
 // issueTerm executes a block terminator: branch resolution, divergence-stack
