@@ -22,6 +22,7 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineHotPath -benchtime 1x ./internal/engine/
 	$(GO) test -run '^$$' -bench BenchmarkRunAllParallel -benchtime 1x ./internal/bench/
+	$(GO) test -run '^$$' -bench BenchmarkSuiteColdVsWarm -benchtime 1x ./internal/bench/
 
 fmt:
 	gofmt -l .

@@ -11,6 +11,8 @@
 //	vgiw-experiments -fig7 -fig9     # a subset
 //	vgiw-experiments -csv            # machine-readable output
 //	vgiw-experiments -parallel 1     # force the serial harness
+//	vgiw-experiments -no-cache       # rebuild every artifact per run
+//	vgiw-experiments -cpuprofile cpu.pprof  # profile the harness
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"vgiw/internal/bench"
 	"vgiw/internal/kernels"
@@ -42,14 +45,50 @@ func main() {
 		lvcSweep = flag.Bool("lvc-sweep", false, "extra: LVC size design-space sweep (§3.4)")
 		energy   = flag.Bool("energy", false, "extra: absolute per-component energy breakdown")
 		jsonOut  = flag.Bool("json", false, "emit the whole suite as JSON and exit")
+		noCache  = flag.Bool("no-cache", false, "disable the artifact cache: rebuild workloads and recompile per run (results are identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		}()
+	}
 
 	all := !(*table1 || *table2 || *fig3 || *fig7 || *fig8 || *fig9 || *fig10 || *fig11 || *reconfig || *util)
 
 	opt := bench.DefaultOptions()
 	opt.Scale = *scale
 	opt.Parallelism = *parallel
+	opt.NoCache = *noCache
+	if !*noCache {
+		// One artifact cache for the whole invocation: the figure matrix and
+		// the LVC sweep share workloads and compile/place products.
+		opt.Cache = bench.NewArtifactCache()
+	}
 
 	workers := *parallel
 	if workers <= 0 {
@@ -69,8 +108,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "continuing with the %d/%d kernels that completed.\n",
 			len(runs), len(kernels.All()))
 	}
-	fmt.Fprintf(os.Stderr, "%d runs validated against the host references in %.2fs wall clock.\n\n",
+	fmt.Fprintf(os.Stderr, "%d runs validated against the host references in %.2fs wall clock.\n",
 		len(runs), suite.WallClock.Seconds())
+	fmt.Fprintf(os.Stderr, "stages (summed across workers): instance %.1fms, compile %.1fms, place %.1fms, simulate %.1fms; cache %d hits / %d misses\n\n",
+		suite.Stages.Instance.Seconds()*1e3, suite.Stages.Compile.Seconds()*1e3,
+		suite.Stages.Place.Seconds()*1e3, suite.Stages.Simulate.Seconds()*1e3,
+		suite.Cache.HitsTotal(), suite.Cache.MissesTotal())
 
 	if *jsonOut {
 		if err := suite.WriteJSON(os.Stdout, *scale); err != nil {

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -41,8 +42,36 @@ func main() {
 		blocks   = flag.Bool("blocks", false, "print per-block scheduling detail (vgiw only)")
 		grid     = flag.Bool("grid", false, "print the fabric occupancy heatmap (vgiw only)")
 		trace    = flag.Bool("trace", false, "print a timeline of block schedules (vgiw only)")
+		noCache  = flag.Bool("no-cache", false, "use the legacy build-per-run path instead of the shared workload artifact (results are identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (at exit) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vgiwsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vgiwsim: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, s := range kernels.All() {
@@ -61,7 +90,7 @@ func main() {
 	}
 
 	if len(specs) == 1 {
-		if err := runOne(os.Stdout, specs[0], *arch, *scale, *blocks, *grid, *trace); err != nil {
+		if err := runOne(os.Stdout, specs[0], *arch, *scale, *blocks, *grid, *trace, *noCache); err != nil {
 			fail("%v", err)
 		}
 		return
@@ -86,7 +115,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = runOne(&outs[i], specs[i], *arch, *scale, *blocks, *grid, *trace)
+				errs[i] = runOne(&outs[i], specs[i], *arch, *scale, *blocks, *grid, *trace, *noCache)
 			}
 		}()
 	}
@@ -135,15 +164,29 @@ func resolveSpecs(arg string) ([]kernels.Spec, error) {
 }
 
 // runOne builds and runs one kernel on one architecture, writing the report
-// to w and validating the output against the host reference.
-func runOne(w io.Writer, spec kernels.Spec, arch string, scale int, blocks, grid, trace bool) error {
-	inst, err := spec.Build(scale)
-	if err != nil {
-		return fmt.Errorf("build: %w", err)
+// to w and validating the output against the host reference. By default the
+// kernel and memory image come from a frozen workload artifact (the same
+// checkout path the harness cache uses); -no-cache takes the legacy
+// build-per-run path. Results are identical either way.
+func runOne(w io.Writer, spec kernels.Spec, arch string, scale int, blocks, grid, trace, noCache bool) error {
+	var inst *kernels.Instance
+	if noCache {
+		built, err := spec.Build(scale)
+		if err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+		inst = built
+	} else {
+		wl, err := kernels.NewWorkload(spec, scale)
+		if err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+		inst = wl.Instance()
 	}
 	fmt.Fprintf(w, "kernel %s: %d threads, %d blocks, %d instructions\n",
 		spec.Name, inst.Launch.Threads(), len(inst.Kernel.Blocks), inst.Kernel.NumInstrs())
 
+	var err error
 	switch arch {
 	case "vgiw":
 		err = runVGIW(w, inst, blocks, grid, trace)

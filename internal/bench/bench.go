@@ -14,7 +14,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"vgiw/internal/compile"
 	"vgiw/internal/core"
 	"vgiw/internal/kernels"
 	"vgiw/internal/power"
@@ -32,11 +31,21 @@ type Options struct {
 	// SkipSGMF disables the SGMF runs (they re-run the kernel a third time).
 	SkipSGMF bool
 	// Parallelism caps how many kernel runs execute concurrently. Each run
-	// builds its own workload instance, machines, and memory image, so runs
-	// share no mutable state and the results are bit-identical to a serial
-	// sweep. 0 (the zero value) means runtime.NumCPU(); 1 forces the serial
-	// path.
+	// builds its own machines and memory image, so runs share no mutable
+	// state and the results are bit-identical to a serial sweep. 0 (the
+	// zero value) means runtime.NumCPU(); 1 forces the serial path.
 	Parallelism int
+	// Cache shares compile/place and workload artifacts across runs. When
+	// nil (and NoCache is false), RunMatrix/RunSuite/LVCSweep create a
+	// private cache for the call; pass one explicitly to share artifacts
+	// across several harness calls (the experiment CLI shares one between
+	// the figure matrix and the LVC sweep).
+	Cache *ArtifactCache
+	// NoCache disables artifact sharing entirely: every run rebuilds its
+	// workload and compiles from scratch. Results are byte-identical with
+	// the cache on or off — this is an escape hatch and the reference
+	// point for the determinism tests.
+	NoCache bool
 }
 
 // DefaultOptions returns the paper's machine configurations.
@@ -49,6 +58,24 @@ func DefaultOptions() Options {
 		Power:       power.DefaultTable(),
 		Parallelism: runtime.NumCPU(),
 	}
+}
+
+// effectiveCache resolves the cache a run should consult: nil under
+// -no-cache (a nil *ArtifactCache builds everything fresh).
+func (o Options) effectiveCache() *ArtifactCache {
+	if o.NoCache {
+		return nil
+	}
+	return o.Cache
+}
+
+// withSweepCache equips a sweep-scoped options copy with a private cache
+// when the caller did not supply one (and caching is not disabled).
+func (o Options) withSweepCache() Options {
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = NewArtifactCache()
+	}
+	return o
 }
 
 // workers resolves Parallelism for a sweep of n independent work items.
@@ -111,6 +138,11 @@ type KernelRun struct {
 	// machines, including validation). It is host timing, not a simulated
 	// metric, so determinism checks must ignore it.
 	Elapsed time.Duration
+	// Stages splits Elapsed by pipeline stage. Artifact-build stages
+	// (Instance/Compile/Place) are attributed to the run that actually
+	// built the artifact; runs served from the cache report (near) zero
+	// there. Host timing — determinism checks must ignore it.
+	Stages StageTimes
 }
 
 // Speedup is Figure 7's metric: SIMT cycles / VGIW cycles. A degenerate
@@ -167,71 +199,86 @@ func (k *KernelRun) EnergyEffVsSGMF() float64 {
 }
 
 // RunOne executes one benchmark on all machines, validating each result.
+// Shared artifacts (the workload and the per-architecture compile/place
+// products) come from opt's cache when one is set; each machine still runs
+// against a private memory image, so results are byte-identical to an
+// uncached run.
 func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 	start := time.Now()
+	cache := opt.effectiveCache()
 	out := &KernelRun{Spec: spec}
 
-	// VGIW.
-	inst, err := spec.Build(opt.Scale)
+	w, wt, err := cache.workload(spec, opt.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("%s: build: %w", spec.Name, err)
 	}
+	out.Stages.Add(wt)
+
+	// VGIW.
 	mv, err := core.NewMachine(opt.VGIW)
 	if err != nil {
 		return nil, err
 	}
-	ck, err := mv.Compile(inst.Kernel)
+	prep, ct, err := cache.vgiwPrepared(w, opt.VGIW)
 	if err != nil {
 		return nil, fmt.Errorf("%s: vgiw compile: %w", spec.Name, err)
 	}
-	out.Blocks = len(ck.Kernel.Blocks)
-	rv, err := mv.Run(ck, inst.Launch, inst.Global)
+	out.Stages.Add(ct)
+	out.Blocks = len(prep.CK.Kernel.Blocks)
+	sim0 := time.Now()
+	global := w.Global()
+	rv, err := mv.RunPrepared(prep, w.Launch, global)
 	if err != nil {
 		return nil, fmt.Errorf("%s: vgiw: %w", spec.Name, err)
 	}
-	if err := inst.Check(inst.Global); err != nil {
+	if err := w.Check(global); err != nil {
 		return nil, fmt.Errorf("%s: vgiw output: %w", spec.Name, err)
 	}
+	out.Stages.Simulate += time.Since(sim0)
 	out.VGIW = rv
 	out.EnergyVGIW = power.VGIW(rv, opt.Power)
 
 	// SIMT baseline (compiled without fabric-driven splitting, as a native
 	// CUDA compile would be).
-	inst, err = spec.Build(opt.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("%s: build: %w", spec.Name, err)
-	}
-	cks, err := compile.Compile(inst.Kernel)
+	cks, ct2, err := cache.simtCompiled(w)
 	if err != nil {
 		return nil, fmt.Errorf("%s: simt compile: %w", spec.Name, err)
 	}
-	rs, err := simt.NewMachine(opt.SIMT).Run(cks, inst.Launch, inst.Global)
+	out.Stages.Add(ct2)
+	sim0 = time.Now()
+	global = w.Global()
+	rs, err := simt.NewMachine(opt.SIMT).Run(cks, w.Launch, global)
 	if err != nil {
 		return nil, fmt.Errorf("%s: simt: %w", spec.Name, err)
 	}
-	if err := inst.Check(inst.Global); err != nil {
+	if err := w.Check(global); err != nil {
 		return nil, fmt.Errorf("%s: simt output: %w", spec.Name, err)
 	}
+	out.Stages.Simulate += time.Since(sim0)
 	out.SIMT = rs
 	out.EnergySIMT = power.SIMT(rs, opt.Power)
 
 	// SGMF, when mappable.
 	if spec.SGMF && !opt.SkipSGMF {
-		inst, err = spec.Build(opt.Scale)
-		if err != nil {
-			return nil, fmt.Errorf("%s: build: %w", spec.Name, err)
-		}
 		mg, err := sgmf.NewMachine(opt.SGMF)
 		if err != nil {
 			return nil, err
 		}
-		rg, err := mg.Run(inst.Kernel, inst.Launch, inst.Global)
+		mapped, ct3, err := cache.sgmfMapped(w, opt.SGMF)
 		if err != nil {
 			return nil, fmt.Errorf("%s: sgmf: %w", spec.Name, err)
 		}
-		if err := inst.Check(inst.Global); err != nil {
+		out.Stages.Add(ct3)
+		sim0 = time.Now()
+		global = w.Global()
+		rg, err := mg.RunMapped(mapped, w.Launch, global)
+		if err != nil {
+			return nil, fmt.Errorf("%s: sgmf: %w", spec.Name, err)
+		}
+		if err := w.Check(global); err != nil {
 			return nil, fmt.Errorf("%s: sgmf output: %w", spec.Name, err)
 		}
+		out.Stages.Simulate += time.Since(sim0)
 		out.SGMF = rg
 		out.EnergySGMF = power.SGMF(rg, opt.Power)
 	}
@@ -240,14 +287,16 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 }
 
 // RunMatrix executes the given kernel specs across the options' worker pool
-// (each kernel internally runs on every machine). Runs are independent —
-// every one builds a fresh workload instance, machines, and memory image —
-// so the results are identical to a serial sweep regardless of Parallelism.
+// (each kernel internally runs on every machine). Runs share immutable
+// artifacts through the sweep's cache but build private machines and memory
+// images, so the results are identical to a serial (or -no-cache) sweep
+// regardless of Parallelism.
 //
 // A failing kernel does not abort the sweep: RunMatrix returns the runs that
 // completed (in spec order) together with the joined per-kernel errors, so
 // callers can report which kernels failed and still use the rest.
 func RunMatrix(specs []kernels.Spec, opt Options) ([]*KernelRun, error) {
+	opt = opt.withSweepCache()
 	runs := make([]*KernelRun, len(specs))
 	errs := make([]error, len(specs))
 	opt.forEach(len(specs), func(i int) {
@@ -275,24 +324,41 @@ type SuiteResult struct {
 	WallClock   time.Duration
 	Parallelism int    // workers actually used
 	Mallocs     uint64 // heap allocations during the sweep (process-wide)
+
+	// Stages is the per-stage host wall-clock summed over all runs (like
+	// user time: under parallelism it exceeds WallClock). Artifact builds
+	// are counted once, in the run that performed them.
+	Stages StageTimes
+	// Cache is the artifact cache's accounting over this sweep (zero under
+	// -no-cache). When the caller shares one cache across several sweeps
+	// the counters are deltas for this call.
+	Cache CacheStats
 }
 
 // RunSuite executes the full registry and records the sweep's wall-clock
-// time and allocation count.
+// time, per-stage split, cache accounting, and allocation count.
 func RunSuite(opt Options) (*SuiteResult, error) {
+	opt = opt.withSweepCache()
 	specs := kernels.All()
+	cache := opt.effectiveCache()
+	stats0 := cache.Stats()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	runs, err := RunMatrix(specs, opt)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
-	return &SuiteResult{
+	out := &SuiteResult{
 		Runs:        runs,
 		WallClock:   wall,
 		Parallelism: opt.workers(len(specs)),
 		Mallocs:     m1.Mallocs - m0.Mallocs,
-	}, err
+		Cache:       cache.Stats().sub(stats0),
+	}
+	for _, kr := range runs {
+		out.Stages.Add(kr.Stages)
+	}
+	return out, err
 }
 
 // Geomean returns the geometric mean of positive values (zeros skipped).

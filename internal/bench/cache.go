@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/core"
+	"vgiw/internal/fabric"
+	"vgiw/internal/kernels"
+	"vgiw/internal/sgmf"
+)
+
+// Tier identifies an artifact class for the cache's hit/miss accounting.
+type Tier int
+
+const (
+	// TierWorkload: kernels.Workload (kernel IR build + input synthesis).
+	TierWorkload Tier = iota
+	// TierVGIW: VGIW compile + fabric place & route (core.Prepared).
+	TierVGIW
+	// TierSIMT: baseline compile without fabric fitting (CompiledKernel).
+	TierSIMT
+	// TierSGMF: schedule/unroll/if-convert + whole-kernel place (Mapped).
+	TierSGMF
+
+	numTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierWorkload:
+		return "workload"
+	case TierVGIW:
+		return "vgiw"
+	case TierSIMT:
+		return "simt"
+	case TierSGMF:
+		return "sgmf"
+	}
+	return "unknown"
+}
+
+// StageTimes splits harness host wall-clock by pipeline stage. Durations are
+// summed across workers (like user time), so under parallelism they can
+// exceed the sweep's wall clock. They are host telemetry, not simulated
+// metrics — determinism checks must ignore them.
+type StageTimes struct {
+	Instance time.Duration // kernel IR build + input/memory-image synthesis
+	Compile  time.Duration // compile.Compile/CompileFitted + SGMF translate
+	Place    time.Duration // fabric place & route
+	Simulate time.Duration // machine execution + output validation
+}
+
+// Add accumulates another sample into the receiver.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Instance += o.Instance
+	s.Compile += o.Compile
+	s.Place += o.Place
+	s.Simulate += o.Simulate
+}
+
+// CacheStats is a point-in-time snapshot of the cache's accounting: per-tier
+// hit/miss counters plus the build time spent on misses, split by stage.
+type CacheStats struct {
+	Hits, Misses [numTiers]uint64
+	// Build is the artifact construction time paid on misses (the cost the
+	// hits avoided re-paying).
+	Build StageTimes
+}
+
+// HitsTotal sums hits across tiers.
+func (s CacheStats) HitsTotal() uint64 {
+	var n uint64
+	for _, h := range s.Hits {
+		n += h
+	}
+	return n
+}
+
+// MissesTotal sums misses across tiers.
+func (s CacheStats) MissesTotal() uint64 {
+	var n uint64
+	for _, m := range s.Misses {
+		n += m
+	}
+	return n
+}
+
+// sub returns the delta s - earlier, so callers sharing one cache across
+// several sweeps can report per-sweep accounting.
+func (s CacheStats) sub(earlier CacheStats) CacheStats {
+	for t := Tier(0); t < numTiers; t++ {
+		s.Hits[t] -= earlier.Hits[t]
+		s.Misses[t] -= earlier.Misses[t]
+	}
+	s.Build.Instance -= earlier.Build.Instance
+	s.Build.Compile -= earlier.Build.Compile
+	s.Build.Place -= earlier.Build.Place
+	s.Build.Simulate -= earlier.Build.Simulate
+	return s
+}
+
+// ArtifactCache is a content-keyed, concurrency-safe artifact cache shared
+// across the harness worker pool. Keys embed the kernel identity (registry
+// name + scale) plus only the configuration fields that actually affect the
+// artifact — a VGIW compile/place artifact is keyed by the fabric shape and
+// split options but not by LVC capacity, so an LVC design-space sweep
+// compiles and places each kernel exactly once.
+//
+// Values are immutable shared artifacts (see kernels.Workload,
+// core.Prepared, sgmf.Mapped for the per-type contracts); concurrent lookups
+// of the same key share a single build (duplicate suppression), and later
+// callers count as hits.
+//
+// A nil *ArtifactCache is valid and means "no sharing": every lookup builds
+// a fresh artifact, which is the -no-cache escape hatch. Results are
+// byte-identical either way — the builders are deterministic and runs only
+// ever mutate private copies.
+type ArtifactCache struct {
+	mu      sync.Mutex
+	entries map[any]*cacheEntry
+
+	hits, misses [numTiers]atomic.Uint64
+	buildNS      [4]atomic.Int64 // instance/compile/place indices; simulate unused
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewArtifactCache creates an empty cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{entries: make(map[any]*cacheEntry)}
+}
+
+// Stats snapshots the accounting counters.
+func (c *ArtifactCache) Stats() CacheStats {
+	var s CacheStats
+	if c == nil {
+		return s
+	}
+	for t := Tier(0); t < numTiers; t++ {
+		s.Hits[t] = c.hits[t].Load()
+		s.Misses[t] = c.misses[t].Load()
+	}
+	s.Build.Instance = time.Duration(c.buildNS[0].Load())
+	s.Build.Compile = time.Duration(c.buildNS[1].Load())
+	s.Build.Place = time.Duration(c.buildNS[2].Load())
+	return s
+}
+
+// get resolves key, building at most once per key across all workers. It
+// reports the artifact, the build's stage times (zero for hits: the caller
+// paid nothing), and whether this caller performed the build.
+func (c *ArtifactCache) get(key any, tier Tier, build func() (any, StageTimes, error)) (any, StageTimes, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	var built bool
+	var st StageTimes
+	e.once.Do(func() {
+		built = true
+		e.val, st, e.err = build()
+	})
+	if built {
+		c.misses[tier].Add(1)
+		c.buildNS[0].Add(int64(st.Instance))
+		c.buildNS[1].Add(int64(st.Compile))
+		c.buildNS[2].Add(int64(st.Place))
+		return e.val, st, e.err
+	}
+	c.hits[tier].Add(1)
+	return e.val, StageTimes{}, e.err
+}
+
+// Cache keys. All components are comparable value types, so the key IS the
+// content that determines the artifact: identical configurations collide
+// into one entry, different ones cannot.
+type (
+	workloadKey struct {
+		name  string
+		scale int
+	}
+	vgiwKey struct {
+		name           string
+		scale          int
+		fabric         fabric.Config
+		replicationOff bool
+		split          bool
+	}
+	simtKey struct {
+		name  string
+		scale int
+	}
+	sgmfKey struct {
+		name   string
+		scale  int
+		fabric fabric.Config
+	}
+)
+
+// workload resolves the tier-2 artifact: one Spec.Build per (kernel, scale).
+func (c *ArtifactCache) workload(spec kernels.Spec, scale int) (*kernels.Workload, StageTimes, error) {
+	v, st, err := c.get(workloadKey{spec.Name, scale}, TierWorkload, func() (any, StageTimes, error) {
+		t0 := time.Now()
+		w, err := kernels.NewWorkload(spec, scale)
+		return w, StageTimes{Instance: time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return v.(*kernels.Workload), st, nil
+}
+
+// vgiwPrepared resolves the VGIW compile/place artifact. The key carries
+// only the config fields placement depends on — fabric shape and split
+// options — so sweeps over LVC/CVT/memory parameters share one artifact.
+func (c *ArtifactCache) vgiwPrepared(w *kernels.Workload, cfg core.Config) (*core.Prepared, StageTimes, error) {
+	key := vgiwKey{w.Spec.Name, w.Scale, cfg.Fabric, cfg.ReplicationOff, cfg.SplitForThroughput}
+	v, st, err := c.get(key, TierVGIW, func() (any, StageTimes, error) {
+		var st StageTimes
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			return nil, st, err
+		}
+		t0 := time.Now()
+		ck, err := m.Compile(w.Kernel())
+		st.Compile = time.Since(t0)
+		if err != nil {
+			return nil, st, err
+		}
+		t0 = time.Now()
+		prep, err := m.Prepare(ck)
+		st.Place = time.Since(t0)
+		return prep, st, err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return v.(*core.Prepared), st, nil
+}
+
+// simtCompiled resolves the baseline's compile artifact (no fabric fitting,
+// as a native CUDA compile would be; no machine-config dependence at all).
+func (c *ArtifactCache) simtCompiled(w *kernels.Workload) (*compile.CompiledKernel, StageTimes, error) {
+	v, st, err := c.get(simtKey{w.Spec.Name, w.Scale}, TierSIMT, func() (any, StageTimes, error) {
+		t0 := time.Now()
+		ck, err := compile.Compile(w.Kernel())
+		return ck, StageTimes{Compile: time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return v.(*compile.CompiledKernel), st, nil
+}
+
+// sgmfMapped resolves SGMF's compile/place artifact.
+func (c *ArtifactCache) sgmfMapped(w *kernels.Workload, cfg sgmf.Config) (*sgmf.Mapped, StageTimes, error) {
+	v, st, err := c.get(sgmfKey{w.Spec.Name, w.Scale, cfg.Fabric}, TierSGMF, func() (any, StageTimes, error) {
+		var st StageTimes
+		m, err := sgmf.NewMachine(cfg)
+		if err != nil {
+			return nil, st, err
+		}
+		k := w.Kernel()
+		t0 := time.Now()
+		g, err := m.Translate(k)
+		st.Compile = time.Since(t0)
+		if err != nil {
+			return nil, st, err
+		}
+		t0 = time.Now()
+		p, err := m.PlaceGraph(k.Name, g)
+		st.Place = time.Since(t0)
+		if err != nil {
+			return nil, st, err
+		}
+		return &sgmf.Mapped{Kernel: k, Placement: p}, st, nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return v.(*sgmf.Mapped), st, nil
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// lvcTestSizes/lvcTestKernels are a small but real slice of the CLI's LVC
+// design-space sweep.
+var (
+	lvcTestSizes   = []int{16, 64, 256}
+	lvcTestKernels = []string{"hotspot.kernel", "nw.needle1"}
+)
+
+// lvcFingerprint renders an LVC sweep to CSV for byte comparison.
+func lvcFingerprint(t *testing.T, opt Options) string {
+	t.Helper()
+	tab, err := LVCSweep(opt, lvcTestSizes, lvcTestKernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestArtifactCacheDeterminism is the tentpole's safety property: a sweep
+// served from shared artifacts must be byte-identical to one that rebuilds
+// everything per run, serial or parallel. Four full-suite sweeps (cache
+// on/off x serial/8 workers) plus the LVC sweep both ways must all agree on
+// every simulated figure. Run with -race: the cached sweeps share Workload,
+// Prepared, and Mapped values across workers, so this test is also the
+// immutability contract's race detector harness.
+func TestArtifactCacheDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full-suite sweeps")
+	}
+	sweep := func(noCache bool, parallelism int) string {
+		opt := DefaultOptions()
+		opt.NoCache = noCache
+		opt.Parallelism = parallelism
+		runs, err := RunAll(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reportFingerprint(t, runs)
+	}
+	ref := sweep(true, 1) // uncached serial: the ground truth
+	for _, c := range []struct {
+		name        string
+		noCache     bool
+		parallelism int
+	}{
+		{"cached-serial", false, 1},
+		{"cached-parallel8", false, 8},
+		{"nocache-parallel8", true, 8},
+	} {
+		if got := sweep(c.noCache, c.parallelism); got != ref {
+			t.Errorf("%s sweep diverged from the uncached serial sweep:\nwant %s\ngot  %s", c.name, ref, got)
+		}
+	}
+
+	lvcOpt := DefaultOptions()
+	lvcOpt.NoCache = true
+	lvcOpt.Parallelism = 1
+	lvcRef := lvcFingerprint(t, lvcOpt)
+	lvcOpt.NoCache = false
+	lvcOpt.Parallelism = 8
+	if got := lvcFingerprint(t, lvcOpt); got != lvcRef {
+		t.Errorf("cached parallel LVC sweep diverged:\nwant %s\ngot  %s", lvcRef, got)
+	}
+}
+
+// TestLVCSweepCompilesOncePerKernel pins the cache-key derivation: the VGIW
+// compile/place artifact's key excludes the LVC capacity, so an LVC sweep
+// must miss exactly once per kernel and hit for every remaining size.
+func TestLVCSweepCompilesOncePerKernel(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Parallelism = 4
+	opt.Cache = NewArtifactCache()
+	if _, err := LVCSweep(opt, lvcTestSizes, lvcTestKernels); err != nil {
+		t.Fatal(err)
+	}
+	stats := opt.Cache.Stats()
+	nk, cells := uint64(len(lvcTestKernels)), uint64(len(lvcTestKernels)*len(lvcTestSizes))
+	if got := stats.Misses[TierVGIW]; got != nk {
+		t.Errorf("TierVGIW misses = %d, want %d (one compile+place per kernel)", got, nk)
+	}
+	if got := stats.Hits[TierVGIW]; got != cells-nk {
+		t.Errorf("TierVGIW hits = %d, want %d (every other cell served from cache)", got, cells-nk)
+	}
+	if got := stats.Misses[TierWorkload]; got != nk {
+		t.Errorf("TierWorkload misses = %d, want %d", got, nk)
+	}
+	if stats.Build.Compile <= 0 || stats.Build.Place <= 0 {
+		t.Errorf("build stage times not recorded: %+v", stats.Build)
+	}
+}
+
+// TestArtifactCacheSingleflight: concurrent lookups of one key must share a
+// single build, with the builder counted as the miss and everyone else as
+// hits. Run with -race.
+func TestArtifactCacheSingleflight(t *testing.T) {
+	c := NewArtifactCache()
+	var builds atomic.Int32
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.get("key", TierWorkload, func() (any, StageTimes, error) {
+				builds.Add(1)
+				return 42, StageTimes{}, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("get = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times, want 1", n)
+	}
+	stats := c.Stats()
+	if stats.Misses[TierWorkload] != 1 || stats.Hits[TierWorkload] != callers-1 {
+		t.Errorf("accounting = %d misses / %d hits, want 1 / %d",
+			stats.Misses[TierWorkload], stats.Hits[TierWorkload], callers-1)
+	}
+}
+
+// TestNilCacheBuildsFresh: a nil cache is the -no-cache path — every lookup
+// builds, nothing is shared, and Stats stays zero.
+func TestNilCacheBuildsFresh(t *testing.T) {
+	var c *ArtifactCache
+	var builds int
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.get("key", TierSIMT, func() (any, StageTimes, error) {
+			builds++
+			return nil, StageTimes{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds != 3 {
+		t.Errorf("nil cache ran builder %d times, want 3 (no sharing)", builds)
+	}
+	if s := c.Stats(); s.HitsTotal() != 0 || s.MissesTotal() != 0 {
+		t.Errorf("nil cache reported accounting: %+v", s)
+	}
+}
+
+// BenchmarkSuiteColdVsWarm is the perf guard for the artifact cache: "cold"
+// rebuilds every artifact per run (-no-cache), "warm" serves every run from
+// a persistent primed cache. The gap between them is the compile/place/
+// workload-synthesis cost the cache removes from sweep iteration time.
+func BenchmarkSuiteColdVsWarm(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		opt := DefaultOptions()
+		opt.NoCache = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunAll(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opt := DefaultOptions()
+		opt.Cache = NewArtifactCache()
+		if _, err := RunAll(opt); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunAll(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

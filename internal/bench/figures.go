@@ -232,10 +232,13 @@ func median(vals []float64) float64 {
 // LVCSweep is the LVC design-space exploration the paper omits ("for
 // brevity, we do not present a full design space exploration of the LVC size
 // and only show results for a 64KB LVC", §3.4): VGIW cycles on the
-// live-value-heavy kernels across LVC sizes. The kernel×size cells are
-// independent (each builds its own instance and machine), so the sweep fans
-// out across the options' worker pool.
+// live-value-heavy kernels across LVC sizes. The kernel×size cells run
+// against private machines and memory images, so the sweep fans out across
+// the options' worker pool; the compile/place artifact's cache key excludes
+// the LVC capacity, so each kernel is compiled and placed exactly once for
+// the whole sweep.
 func LVCSweep(opt Options, sizesKB []int, kernelNames []string) (*report.Table, error) {
+	opt = opt.withSweepCache()
 	specs := make([]kernels.Spec, len(kernelNames))
 	for i, name := range kernelNames {
 		spec, ok := kernels.ByName(name)
@@ -271,22 +274,31 @@ func LVCSweep(opt Options, sizesKB []int, kernelNames []string) (*report.Table, 
 }
 
 // lvcCell runs one kernel at one LVC size and returns its VGIW cycle count.
+// The workload and the compile/place artifact come from the sweep's cache
+// (the artifact is LVC-size-independent); only the machine and memory image
+// are private to the cell.
 func lvcCell(opt Options, spec kernels.Spec, kb int) (int64, error) {
 	cfg := opt.VGIW
 	cfg.LVC.SizeBytes = kb << 10
-	inst, err := spec.Build(opt.Scale)
+	cache := opt.effectiveCache()
+	w, _, err := cache.workload(spec, opt.Scale)
 	if err != nil {
 		return 0, fmt.Errorf("%s: build: %w", spec.Name, err)
+	}
+	prep, _, err := cache.vgiwPrepared(w, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("%s @%dKB: %w", spec.Name, kb, err)
 	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return 0, err
 	}
-	res, err := m.RunKernel(inst.Kernel, inst.Launch, inst.Global)
+	global := w.Global()
+	res, err := m.RunPrepared(prep, w.Launch, global)
 	if err != nil {
 		return 0, fmt.Errorf("%s @%dKB: %w", spec.Name, kb, err)
 	}
-	if err := inst.Check(inst.Global); err != nil {
+	if err := w.Check(global); err != nil {
 		return 0, fmt.Errorf("%s @%dKB: %w", spec.Name, kb, err)
 	}
 	return res.Cycles, nil

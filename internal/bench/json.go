@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // JSONRun is the machine-readable form of one benchmark's results.
@@ -33,8 +34,15 @@ type JSONRun struct {
 	EnergyFermiPJ float64 `json:"energy_fermi_pj"`
 
 	// ElapsedMS is host wall-clock time for this kernel's simulations —
-	// simulator performance telemetry, not a simulated metric.
-	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// simulator performance telemetry, not a simulated metric. The stage
+	// fields split it by pipeline stage; artifact-build stages (instance,
+	// compile, place) are attributed to the run that built the shared
+	// artifact, so cache-served runs report (near) zero there.
+	ElapsedMS  float64 `json:"elapsed_ms,omitempty"`
+	InstanceMS float64 `json:"instance_ms,omitempty"`
+	CompileMS  float64 `json:"compile_ms,omitempty"`
+	PlaceMS    float64 `json:"place_ms,omitempty"`
+	SimulateMS float64 `json:"simulate_ms,omitempty"`
 }
 
 // JSONReport bundles the whole suite plus the headline geomeans and, when
@@ -55,6 +63,17 @@ type JSONReport struct {
 	WallClockMS float64 `json:"wall_clock_ms,omitempty"`
 	Parallelism int     `json:"parallelism,omitempty"`
 	Mallocs     uint64  `json:"mallocs,omitempty"`
+
+	// Per-stage host time summed over all runs (user time: can exceed
+	// wall clock under parallelism).
+	StageInstanceMS float64 `json:"stage_instance_ms,omitempty"`
+	StageCompileMS  float64 `json:"stage_compile_ms,omitempty"`
+	StagePlaceMS    float64 `json:"stage_place_ms,omitempty"`
+	StageSimulateMS float64 `json:"stage_simulate_ms,omitempty"`
+
+	// Artifact-cache accounting for the sweep (absent under -no-cache).
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
 }
 
 // BuildJSON converts harness results into the export form.
@@ -84,6 +103,10 @@ func BuildJSON(runs []*KernelRun, scale int) JSONReport {
 			EnergyFermiPJ: r.EnergySIMT.SystemLevel(),
 		}
 		jr.ElapsedMS = float64(r.Elapsed.Microseconds()) / 1e3
+		jr.InstanceMS = durMS(r.Stages.Instance)
+		jr.CompileMS = durMS(r.Stages.Compile)
+		jr.PlaceMS = durMS(r.Stages.Place)
+		jr.SimulateMS = durMS(r.Stages.Simulate)
 		if r.SGMF != nil {
 			jr.SGMFCycles = r.SGMF.Cycles
 			jr.SpeedupVsSGMF = r.SpeedupVsSGMF()
@@ -118,8 +141,17 @@ func (s *SuiteResult) Report(scale int) JSONReport {
 	rep.WallClockMS = float64(s.WallClock.Microseconds()) / 1e3
 	rep.Parallelism = s.Parallelism
 	rep.Mallocs = s.Mallocs
+	rep.StageInstanceMS = durMS(s.Stages.Instance)
+	rep.StageCompileMS = durMS(s.Stages.Compile)
+	rep.StagePlaceMS = durMS(s.Stages.Place)
+	rep.StageSimulateMS = durMS(s.Stages.Simulate)
+	rep.CacheHits = s.Cache.HitsTotal()
+	rep.CacheMisses = s.Cache.MissesTotal()
 	return rep
 }
+
+// durMS renders a host duration in milliseconds with microsecond precision.
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 
 // WriteJSON emits the suite report (with telemetry) as indented JSON.
 func (s *SuiteResult) WriteJSON(w io.Writer, scale int) error {

@@ -14,13 +14,17 @@ import (
 )
 
 // reportFingerprint renders a run set to the JSON export form with the
-// host-timing field cleared, so two sweeps can be compared bit-for-bit on
+// host-timing fields cleared, so two sweeps can be compared bit-for-bit on
 // simulated results only.
 func reportFingerprint(t *testing.T, runs []*KernelRun) string {
 	t.Helper()
 	rep := BuildJSON(runs, 1)
 	for i := range rep.Runs {
 		rep.Runs[i].ElapsedMS = 0
+		rep.Runs[i].InstanceMS = 0
+		rep.Runs[i].CompileMS = 0
+		rep.Runs[i].PlaceMS = 0
+		rep.Runs[i].SimulateMS = 0
 	}
 	b, err := json.Marshal(rep)
 	if err != nil {

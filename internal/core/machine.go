@@ -120,20 +120,29 @@ func (r *Result) ConfigOverhead() float64 {
 	return float64(r.ConfigCycles) / float64(r.Cycles)
 }
 
-// Run executes a compiled kernel launch to completion, mutating global
-// memory in place.
-func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []uint32) (*Result, error) {
-	k := ck.Kernel
-	nBlocks := len(k.Blocks)
+// Prepared bundles a compiled kernel with its per-block placements — the
+// full compile/place artifact a VGIW run executes. It is immutable once
+// built: RunPrepared only reads it, so one Prepared may be shared by any
+// number of concurrent runs on machines with the same fabric configuration
+// (the placements' unit IDs refer to the deterministic grid layout that
+// configuration produces). Placement does not depend on the LVC or CVT
+// sizing, so design-space sweeps over those parameters reuse one Prepared.
+type Prepared struct {
+	CK         *compile.CompiledKernel
+	Placements []*fabric.Placement
+	// Replicas[bi] is the replication factor block bi was placed with.
+	Replicas []int
+}
 
-	// Place every block once up front (the BBS holds the per-block
-	// configurations and prefetches them into its FIFO, §3.2).
-	placements := make([]*fabric.Placement, nBlocks)
-	res := &Result{
-		Kernel:     k.Name,
-		Threads:    launch.Threads(),
-		Ops:        make(map[kir.UnitClass]uint64),
-		ReplicasOf: make(map[int]int),
+// Prepare places every block of a compiled kernel onto the fabric once
+// (the BBS holds the per-block configurations and prefetches them into its
+// FIFO, §3.2).
+func (m *Machine) Prepare(ck *compile.CompiledKernel) (*Prepared, error) {
+	k := ck.Kernel
+	p := &Prepared{
+		CK:         ck,
+		Placements: make([]*fabric.Placement, len(k.Blocks)),
+		Replicas:   make([]int, len(k.Blocks)),
 	}
 	for bi, g := range ck.DFGs {
 		replicas := fabric.MaxReplicasFor(m.grid, g)
@@ -144,12 +153,42 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 		if m.cfg.ReplicationOff {
 			replicas = 1
 		}
-		p, err := fabric.Place(m.grid, g, replicas)
+		pl, err := fabric.Place(m.grid, g, replicas)
 		if err != nil {
 			return nil, err
 		}
-		placements[bi] = p
-		res.ReplicasOf[bi] = replicas
+		p.Placements[bi] = pl
+		p.Replicas[bi] = replicas
+	}
+	return p, nil
+}
+
+// Run executes a compiled kernel launch to completion, mutating global
+// memory in place.
+func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []uint32) (*Result, error) {
+	prep, err := m.Prepare(ck)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunPrepared(prep, launch, global)
+}
+
+// RunPrepared executes a prepared kernel launch to completion, mutating
+// global memory in place. It treats prep as read-only, so a cached Prepared
+// can be executed concurrently by independent machines.
+func (m *Machine) RunPrepared(prep *Prepared, launch kir.Launch, global []uint32) (*Result, error) {
+	ck := prep.CK
+	k := ck.Kernel
+	nBlocks := len(k.Blocks)
+	placements := prep.Placements
+	res := &Result{
+		Kernel:     k.Name,
+		Threads:    launch.Threads(),
+		Ops:        make(map[kir.UnitClass]uint64),
+		ReplicasOf: make(map[int]int),
+	}
+	for bi, r := range prep.Replicas {
+		res.ReplicasOf[bi] = r
 	}
 
 	// Thread tiling (§3.2, §3.4): the CVT bit budget is split across the

@@ -206,7 +206,7 @@ func (e *Engine) RunVector(p *fabric.Placement, threads []int, startCycle int64,
 	// The scratch arrays keep their backing storage across runs.
 	nUnits := e.grid.NumUnits()
 	e.vals = resize(e.vals, nNodes)
-	e.done = resizeI64(e.done, nNodes)
+	e.done = resize(e.done, nNodes)
 	if cap(e.units) < nUnits {
 		e.units = make([]mem.SlotAlloc, nUnits)
 		e.scuPool = make([]mem.Outstanding, nUnits)
@@ -221,14 +221,14 @@ func (e *Engine) RunVector(p *fabric.Placement, threads []int, startCycle int64,
 		e.resBuf[i].Reset(cfg.ReservationSlots)
 	}
 	e.nNodes = nNodes
-	e.lastDone = resizeI64(e.lastDone, p.Replicas*nNodes)
+	e.lastDone = resize(e.lastDone, p.Replicas*nNodes)
 	clear(e.lastDone)
 
 	// Per-replica injection bookkeeping: the initiator CVU injects one
 	// thread per cycle, and a thread needs a free virtual channel (token
 	// buffer entry). Channels free as their threads complete — in any
 	// order, so threads stalled on memory do not hold others back.
-	e.injNext = resizeI64(e.injNext, p.Replicas)
+	e.injNext = resize(e.injNext, p.Replicas)
 	if cap(e.vcs) < p.Replicas {
 		e.vcs = make([]mem.Outstanding, p.Replicas)
 	}
@@ -448,16 +448,11 @@ func (e *Engine) noteLDSTCompletion(unit int, done int64) {
 	e.resBuf[unit].Record(done)
 }
 
-func resize(s []uint32, n int) []uint32 {
+// resize returns s grown (or sliced) to length n, reusing the backing array
+// when it is large enough. Contents are unspecified — callers overwrite.
+func resize[T any](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]uint32, n)
-	}
-	return s[:n]
-}
-
-func resizeI64(s []int64, n int) []int64 {
-	if cap(s) < n {
-		return make([]int64, n)
+		return make([]T, n)
 	}
 	return s[:n]
 }

@@ -10,6 +10,13 @@ import (
 // Placement maps every node of every replica of a dataflow graph to a
 // physical unit, with per-edge token latencies derived from the interconnect
 // topology.
+//
+// Immutability contract: a Placement (and the BlockDFG it points at) is
+// frozen once Place/PlaceMax returns. The engine only reads it during
+// execution, and placement depends solely on the graph and the fabric
+// configuration — not on LVC/CVT/memory parameters — so one Placement may be
+// shared by any number of concurrent runs on machines with the same fabric
+// config (the harness's artifact cache relies on this).
 type Placement struct {
 	Graph    *compile.BlockDFG
 	Replicas int

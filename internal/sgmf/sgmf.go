@@ -72,9 +72,22 @@ func NewMachine(cfg Config) (*Machine, error) {
 	return &Machine{cfg: cfg, grid: grid, eng: engine.New(grid, cfg.Engine)}, nil
 }
 
-// Map if-converts and places the kernel, reporting why a kernel is not
-// SGMF-mappable (loops, barriers, or exceeding the fabric).
-func (m *Machine) Map(k *kir.Kernel) (*fabric.Placement, error) {
+// Mapped is SGMF's compile/place artifact: the scheduled, unrolled,
+// if-converted kernel together with its whole-kernel placement. It is
+// immutable once built — RunMapped only reads it — so one Mapped may be
+// shared by concurrent runs on machines with the same fabric configuration.
+type Mapped struct {
+	// Kernel is the transformed kernel the graph was built from (the
+	// mapping passes mutate their input in place; keep this one, not the
+	// original, alongside the placement).
+	Kernel    *kir.Kernel
+	Placement *fabric.Placement
+}
+
+// Translate lowers a kernel to SGMF's whole-kernel dataflow graph,
+// reporting why a kernel is not SGMF-mappable (loops, barriers). The kernel
+// is mutated in place (block scheduling, loop unrolling).
+func (m *Machine) Translate(k *kir.Kernel) (*compile.BlockDFG, error) {
 	if _, err := compile.ScheduleBlocks(k); err != nil {
 		return nil, err
 	}
@@ -84,15 +97,32 @@ func (m *Machine) Map(k *kir.Kernel) (*fabric.Placement, error) {
 	if _, err := compile.UnrollLoops(k, 16, 96); err != nil {
 		return nil, err
 	}
-	g, err := compile.IfConvert(k)
+	return compile.IfConvert(k)
+}
+
+// PlaceGraph maps the whole-kernel graph onto the fabric with as many
+// replicas as fit, reporting oversize failures.
+func (m *Machine) PlaceGraph(name string, g *compile.BlockDFG) (*fabric.Placement, error) {
+	p, err := fabric.PlaceMax(m.grid, g)
+	if err != nil {
+		return nil, fmt.Errorf("sgmf: kernel %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// Map if-converts and places the kernel, reporting why a kernel is not
+// SGMF-mappable (loops, barriers, or exceeding the fabric). The input kernel
+// is mutated in place; the returned artifact retains it.
+func (m *Machine) Map(k *kir.Kernel) (*Mapped, error) {
+	g, err := m.Translate(k)
 	if err != nil {
 		return nil, err
 	}
-	p, err := fabric.PlaceMax(m.grid, g)
+	p, err := m.PlaceGraph(k.Name, g)
 	if err != nil {
-		return nil, fmt.Errorf("sgmf: kernel %s: %w", k.Name, err)
+		return nil, err
 	}
-	return p, nil
+	return &Mapped{Kernel: k, Placement: p}, nil
 }
 
 // Supported reports whether the kernel can run on SGMF at all.
@@ -104,10 +134,18 @@ func (m *Machine) Supported(k *kir.Kernel) bool {
 // Run executes a kernel launch: one static configuration, every thread
 // streamed through the whole-kernel graph.
 func (m *Machine) Run(k *kir.Kernel, launch kir.Launch, global []uint32) (*Result, error) {
-	p, err := m.Map(k)
+	mapped, err := m.Map(k)
 	if err != nil {
 		return nil, err
 	}
+	return m.RunMapped(mapped, launch, global)
+}
+
+// RunMapped executes a pre-mapped kernel launch. It treats mapped as
+// read-only, so a cached Mapped can be executed concurrently by independent
+// machines.
+func (m *Machine) RunMapped(mapped *Mapped, launch kir.Launch, global []uint32) (*Result, error) {
+	k, p := mapped.Kernel, mapped.Placement
 	sys := mem.NewSystem(m.cfg.Mem)
 	env, err := engine.NewDataEnv(k, launch, global, sys)
 	if err != nil {

@@ -1,0 +1,137 @@
+package simt
+
+import (
+	"testing"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/kir"
+)
+
+// TestGTOGreedySurvivesCompaction pins the greedy-target tracking across
+// warp-list compaction. The greedy target must be tracked by identity: before
+// the fix it was stored as a warp ID and used as an index into r.warps, so
+// after compact() renumbered the list the "greedy" pick silently switched to
+// whichever warp inherited the index.
+func TestGTOGreedySurvivesCompaction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheduler = SchedGTO
+	k := buildDiamond()
+	r := &run{m: NewMachine(cfg), k: k, res: &Result{}}
+
+	// Ten warps: 0..7 retired, 8 live but stalled far in the future, 9 live
+	// and ready. GTO must latch warp 9 as the greedy target.
+	for i := 0; i < 10; i++ {
+		w := &warp{
+			id:       i,
+			regReady: make([]int64, k.NumRegs),
+			stack:    []stackEntry{{block: 0, instr: 0, rpc: -1, mask: 1}},
+			active:   1,
+		}
+		switch {
+		case i < 8:
+			w.done = true
+		case i == 8:
+			w.readyAt = 1 << 40
+		}
+		r.warps = append(r.warps, w)
+	}
+	greedy := r.pickWarp()
+	if greedy != r.warps[9] {
+		t.Fatalf("GTO picked warp %d, want the only ready warp 9", greedy.id)
+	}
+
+	// Compact renumbers: the stalled warp becomes index/ID 0, the greedy
+	// target becomes index/ID 1. Wake the stalled warp so both are ready.
+	r.compact()
+	r.warps[0].readyAt = 0
+	r.warps[0].issueValid = false
+	if got := r.pickWarp(); got != greedy {
+		t.Fatalf("greedy target switched across compaction: got warp %d, want the pre-compaction greedy (now warp %d)",
+			got.id, greedy.id)
+	}
+
+	// A retired greedy target must be dropped, not pinned forever.
+	greedy.done = true
+	r.compact()
+	if r.greedy != nil {
+		t.Error("compact kept a retired greedy target")
+	}
+	if got := r.pickWarp(); got != r.warps[0] {
+		t.Fatalf("after greedy retirement GTO picked warp %d, want oldest ready warp 0", got.id)
+	}
+}
+
+// TestSIMTGTOCompactionMatchesReference drives a GTO run with resident
+// limits small enough that the warp list compacts repeatedly mid-run
+// (compaction fires once the list outgrows 4*MaxWarps), and checks the
+// output against the scalar reference.
+func TestSIMTGTOCompactionMatchesReference(t *testing.T) {
+	const n = 1024 // 32 CTAs of 32 threads: 32 warps through a 4-warp budget
+	cfg := DefaultConfig()
+	cfg.Scheduler = SchedGTO
+	cfg.MaxCTAs = 2
+	cfg.MaxWarps = 4
+	launch := kir.Launch1D(n/32, 32, 0, n)
+	ref := reference(t, buildDiamond, launch, diamondInput(n))
+
+	ck, err := compile.Compile(buildDiamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := diamondInput(n)
+	res, err := NewMachine(cfg).Run(ck, launch, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("mem[%d]: simt %d, ref %d", i, got[i], ref[i])
+		}
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+// TestEarliestIssueCacheMatchesRecompute runs every kernel shape (diamond
+// divergence, data-dependent loop, barrier) under both schedulers with the
+// cache-verification hook armed: each cached earliestIssue read is recomputed
+// from scratch and the run panics on any divergence. This pins the cache's
+// invalidation points (issue, terminator, barrier release) to the events
+// that actually change the scoreboard answer.
+func TestEarliestIssueCacheMatchesRecompute(t *testing.T) {
+	debugVerifyIssueCache = true
+	defer func() { debugVerifyIssueCache = false }()
+
+	const n = 256
+	kernels := []struct {
+		name   string
+		build  func() *kir.Kernel
+		input  func() []uint32
+		launch kir.Launch
+	}{
+		{"diamond", buildDiamond, func() []uint32 { return diamondInput(n) }, kir.Launch1D(n/32, 32, 0, n)},
+		{"loopsum", buildLoopSum, func() []uint32 { return make([]uint32, n) }, kir.Launch1D(n/32, 32, 0)},
+		{"barrier", buildBarrierReverse, func() []uint32 { return make([]uint32, n) }, kir.Launch1D(n/32, 32, 0)},
+	}
+	for _, pol := range []SchedPolicy{SchedLRR, SchedGTO} {
+		for _, kc := range kernels {
+			cfg := DefaultConfig()
+			cfg.Scheduler = pol
+			ck, err := compile.Compile(kc.build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := reference(t, kc.build, kc.launch, kc.input())
+			got := kc.input()
+			if _, err := NewMachine(cfg).Run(ck, kc.launch, got); err != nil {
+				t.Fatalf("%s/%v: %v", kc.name, pol, err)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s/%v: mem[%d]: simt %d, ref %d", kc.name, pol, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

@@ -138,6 +138,17 @@ type warp struct {
 
 	atBarrier bool
 	done      bool
+
+	// Issue-readiness cache: the scoreboard half of earliestIssue (readyAt
+	// folded with the operand regReady of the warp's next instruction),
+	// memoized until the warp issues or a barrier release bumps readyAt.
+	// Those are the only events that change it — regReady is per-warp and
+	// only the warp's own issues write it. The execution-port half is global
+	// and read live. issuePort is the next instruction's port, -1 for
+	// terminators (which need no port).
+	issueReady int64
+	issuePort  int
+	issueValid bool
 }
 
 func (w *warp) top() *stackEntry { return &w.stack[len(w.stack)-1] }
@@ -197,7 +208,10 @@ type run struct {
 	liveCTA  map[int]int // cta -> live warps
 	barriers map[int]int // cta -> warps waiting
 	cycle    int64
-	lastPick int
+	lastPick int   // LRR rotation cursor (index into warps; reset by compact)
+	greedy   *warp // GTO greedy target, tracked by identity: compact()
+	// renumbers warp IDs, so an index or ID would silently redirect the
+	// greedy policy to a different warp across compaction.
 
 	// Shared execution ports: next cycle the ALU array / SFUs / LD-ST
 	// units accept a new warp instruction.
@@ -291,7 +305,9 @@ func (r *run) execute() error {
 	}
 }
 
-// compact drops retired warps and renumbers the rest.
+// compact drops retired warps and renumbers the rest. The GTO greedy target
+// is held by pointer, so it survives renumbering; only a retired target is
+// dropped.
 func (r *run) compact() {
 	live := r.warps[:0]
 	for _, w := range r.warps {
@@ -302,6 +318,9 @@ func (r *run) compact() {
 	}
 	r.warps = live
 	r.lastPick = 0
+	if r.greedy != nil && r.greedy.done {
+		r.greedy = nil
+	}
 }
 
 func (r *run) liveWarps() int {
@@ -344,9 +363,39 @@ func (r *run) admitCTA(cta, warpsPerCTA int) {
 	}
 }
 
-// earliestIssue computes when the warp's next instruction could issue,
-// folding in the register scoreboard.
+// debugVerifyIssueCache, set by tests only, recomputes the scoreboard scan
+// on every cached earliestIssue read and panics if the memoized value ever
+// diverges from the fresh one.
+var debugVerifyIssueCache bool
+
+// earliestIssue computes when the warp's next instruction could issue. The
+// scoreboard half is memoized per warp (the scheduler polls every stalled
+// warp each idle cycle, but the answer only changes when the warp issues or
+// a barrier release bumps readyAt); the shared execution ports are read live.
 func (r *run) earliestIssue(w *warp) int64 {
+	if !w.issueValid {
+		w.issueReady, w.issuePort = r.scoreboardReady(w)
+		w.issueValid = true
+	} else if debugVerifyIssueCache {
+		ready, port := r.scoreboardReady(w)
+		if ready != w.issueReady || port != w.issuePort {
+			panic(fmt.Sprintf("simt: stale issue cache for warp %d: cached (%d, port %d), fresh (%d, port %d)",
+				w.id, w.issueReady, w.issuePort, ready, port))
+		}
+	}
+	t := w.issueReady
+	if w.issuePort >= 0 {
+		if pf := r.portFree[w.issuePort]; pf > t {
+			t = pf
+		}
+	}
+	return t
+}
+
+// scoreboardReady scans the warp's next instruction: the cycle its operands
+// and the warp itself are ready, plus the execution port it needs (-1 for
+// terminators).
+func (r *run) scoreboardReady(w *warp) (int64, int) {
 	t := w.readyAt
 	e := w.top()
 	blk := r.k.Blocks[e.block]
@@ -357,15 +406,14 @@ func (r *run) earliestIssue(w *warp) int64 {
 				t = rr
 			}
 		}
-		if pf := r.portFree[portOf(in.Op)]; pf > t {
-			t = pf
-		}
-	} else if blk.Term.Kind == kir.TermBranch {
+		return t, portOf(in.Op)
+	}
+	if blk.Term.Kind == kir.TermBranch {
 		if rr := w.regReady[blk.Term.Cond]; rr > t {
 			t = rr
 		}
 	}
-	return t
+	return t, -1
 }
 
 // pickWarp selects a ready warp according to the configured policy.
@@ -376,18 +424,17 @@ func (r *run) pickWarp() *warp {
 	}
 	if r.m.cfg.Scheduler == SchedGTO {
 		// Greedy: stay on the last issued warp while it remains ready.
-		if r.lastPick < n {
-			if w := r.warps[r.lastPick]; !w.done && !w.atBarrier && r.earliestIssue(w) <= r.cycle {
-				return w
-			}
+		if w := r.greedy; w != nil && !w.done && !w.atBarrier && r.earliestIssue(w) <= r.cycle {
+			return w
 		}
-		// Then oldest: lowest warp ID that is ready.
+		// Then oldest: lowest warp ID that is ready (admission order is
+		// age order, and compact preserves it).
 		for _, w := range r.warps {
 			if w.done || w.atBarrier {
 				continue
 			}
 			if r.earliestIssue(w) <= r.cycle {
-				r.lastPick = w.id
+				r.greedy = w
 				return w
 			}
 		}
@@ -471,6 +518,7 @@ func (r *run) issueInstr(w *warp, in kir.Instr) error {
 	r.portFree[portOf(in.Op)] = r.cycle + occupancy
 	w.readyAt = r.cycle + 1
 	e.instr++
+	w.issueValid = false // next instruction, new readyAt, new regReady[dst]
 	return nil
 }
 
@@ -637,6 +685,7 @@ func (r *run) issueTerm(w *warp, t kir.Terminator) error {
 	}
 
 	w.readyAt = r.cycle + 1 + r.m.cfg.BranchLat
+	w.issueValid = false // control moved and readyAt changed
 	r.checkBarrier(w)
 	return nil
 }
@@ -709,6 +758,7 @@ func (r *run) releaseBarrier(cta int) {
 			if w.readyAt < r.cycle+1 {
 				w.readyAt = r.cycle + 1
 			}
+			w.issueValid = false // readyAt may have moved
 		}
 	}
 	r.barriers[cta] = 0
