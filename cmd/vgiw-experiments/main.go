@@ -25,6 +25,7 @@ import (
 	"vgiw/internal/bench"
 	"vgiw/internal/kernels"
 	"vgiw/internal/report"
+	"vgiw/internal/trace"
 )
 
 func main() {
@@ -45,7 +46,11 @@ func main() {
 		lvcSweep = flag.Bool("lvc-sweep", false, "extra: LVC size design-space sweep (§3.4)")
 		energy   = flag.Bool("energy", false, "extra: absolute per-component energy breakdown")
 		jsonOut  = flag.Bool("json", false, "emit the whole suite as JSON and exit")
+		telem    = flag.Bool("telemetry", false, "extra: harness host-time telemetry table (per-kernel stage split + cache counters)")
 		noCache  = flag.Bool("no-cache", false, "disable the artifact cache: rebuild workloads and recompile per run (results are identical either way)")
+		traceOut = flag.String("trace", "", "write the sweep's cycle-level Chrome trace-event JSON (Perfetto-loadable) to this file")
+		traceCat = flag.String("trace-filter", "", "comma-separated trace categories (vgiw,cvt,lvc,simt,sgmf,engine,mem; default all)")
+		metrics  = flag.String("metrics", "", "write a one-line schema-versioned metrics snapshot (e.g. BENCH_trace.json) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
@@ -84,6 +89,14 @@ func main() {
 	opt.Scale = *scale
 	opt.Parallelism = *parallel
 	opt.NoCache = *noCache
+	if *traceOut != "" {
+		mask, err := trace.ParseCats(*traceCat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Trace = trace.NewSink(mask)
+	}
 	if !*noCache {
 		// One artifact cache for the whole invocation: the figure matrix and
 		// the LVC sweep share workloads and compile/place products.
@@ -114,6 +127,37 @@ func main() {
 		suite.Stages.Instance.Seconds()*1e3, suite.Stages.Compile.Seconds()*1e3,
 		suite.Stages.Place.Seconds()*1e3, suite.Stages.Simulate.Seconds()*1e3,
 		suite.Cache.HitsTotal(), suite.Cache.MissesTotal())
+
+	if opt.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = opt.Trace.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (%d dropped)\n",
+			opt.Trace.Len(), *traceOut, opt.Trace.Dropped())
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err == nil {
+			err = suite.Metrics.WriteSnapshot(f, *scale)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot (%s, %d metrics) to %s\n",
+			trace.MetricsSchema, len(suite.Metrics.Names()), *metrics)
+	}
 
 	if *jsonOut {
 		if err := suite.WriteJSON(os.Stdout, *scale); err != nil {
@@ -151,6 +195,9 @@ func main() {
 	emit(*reconfig, bench.ReconfigTable(runs))
 	emit(*util, bench.UtilizationTable(runs))
 	emit(*energy, bench.EnergyBreakdown(runs))
+	if *telem {
+		emit(true, bench.TelemetryTable(suite))
+	}
 
 	if *lvcSweep {
 		t, err := bench.LVCSweep(opt, []int{16, 32, 64, 128, 256},

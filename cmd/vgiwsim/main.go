@@ -10,6 +10,9 @@
 //	vgiwsim -kernel hotspot.kernel -scale 4 -blocks
 //	vgiwsim -kernel all -parallel 8        # whole registry, 8 workers
 //	vgiwsim -kernel bfs.kernel1,nn.euclid  # a comma-separated subset
+//	vgiwsim -kernel bfs.kernel2 -trace out.json   # Perfetto-loadable trace
+//	vgiwsim -kernel bfs.kernel2 -trace out.json -trace-filter vgiw,cvt
+//	vgiwsim -kernel bfs.kernel2 -metrics out.txt  # flat metrics registry
 package main
 
 import (
@@ -20,9 +23,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 
+	"vgiw/internal/bench"
 	"vgiw/internal/compile"
 	"vgiw/internal/core"
 	"vgiw/internal/kernels"
@@ -30,6 +35,7 @@ import (
 	"vgiw/internal/power"
 	"vgiw/internal/sgmf"
 	"vgiw/internal/simt"
+	"vgiw/internal/trace"
 )
 
 func main() {
@@ -41,7 +47,10 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent kernel runs when several kernels are given")
 		blocks   = flag.Bool("blocks", false, "print per-block scheduling detail (vgiw only)")
 		grid     = flag.Bool("grid", false, "print the fabric occupancy heatmap (vgiw only)")
-		trace    = flag.Bool("trace", false, "print a timeline of block schedules (vgiw only)")
+		timeline = flag.Bool("timeline", false, "print a timeline of block schedules (vgiw only)")
+		traceOut = flag.String("trace", "", "write a cycle-level Chrome trace-event JSON (Perfetto-loadable) to this file")
+		traceCat = flag.String("trace-filter", "", "comma-separated trace categories (vgiw,cvt,lvc,simt,sgmf,engine,mem; default all)")
+		metrics  = flag.String("metrics", "", "write the flat metrics registry (one \"name value\" line per metric) to this file")
 		noCache  = flag.Bool("no-cache", false, "use the legacy build-per-run path instead of the shared workload artifact (results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (at exit) to this file")
@@ -89,10 +98,41 @@ func main() {
 		fail("%v", err)
 	}
 
-	if len(specs) == 1 {
-		if err := runOne(os.Stdout, specs[0], *arch, *scale, *blocks, *grid, *trace, *noCache); err != nil {
+	rc := runCfg{
+		arch: *arch, scale: *scale,
+		blocks: *blocks, grid: *grid, timeline: *timeline, noCache: *noCache,
+	}
+	if *traceOut != "" {
+		mask, err := trace.ParseCats(*traceCat)
+		if err != nil {
 			fail("%v", err)
 		}
+		rc.sink = trace.NewSink(mask)
+	}
+	if *metrics != "" {
+		rc.reg = trace.NewRegistry()
+	}
+	finish := func() {
+		if rc.sink != nil {
+			if err := writeTrace(*traceOut, rc.sink); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "vgiwsim: wrote %d trace events to %s (%d dropped)\n",
+				rc.sink.Len(), *traceOut, rc.sink.Dropped())
+		}
+		if rc.reg != nil {
+			if err := writeMetrics(*metrics, rc.reg); err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "vgiwsim: wrote %d metrics to %s\n", len(rc.reg.Names()), *metrics)
+		}
+	}
+
+	if len(specs) == 1 {
+		if err := runOne(os.Stdout, specs[0], rc); err != nil {
+			fail("%v", err)
+		}
+		finish()
 		return
 	}
 
@@ -115,7 +155,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = runOne(&outs[i], specs[i], *arch, *scale, *blocks, *grid, *trace, *noCache)
+				errs[i] = runOne(&outs[i], specs[i], rc)
 			}
 		}()
 	}
@@ -137,6 +177,54 @@ func main() {
 	if failed > 0 {
 		fail("%d of %d kernels failed", failed, len(specs))
 	}
+	finish()
+}
+
+// runCfg carries the per-run options (shared across worker goroutines; the
+// sink and registry are internally locked).
+type runCfg struct {
+	arch     string
+	scale    int
+	blocks   bool
+	grid     bool
+	timeline bool
+	noCache  bool
+	sink     *trace.Sink
+	reg      *trace.Registry
+}
+
+// writeTrace exports the sink as Chrome trace-event JSON.
+func writeTrace(path string, s *trace.Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the registry as sorted "name value" lines.
+func writeMetrics(path string, reg *trace.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	flat := reg.Flat()
+	names := make([]string, 0, len(flat))
+	for n := range flat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(f, "%s %d\n", n, flat[n]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // resolveSpecs expands the -kernel argument: a single name, a comma list, or
@@ -168,16 +256,16 @@ func resolveSpecs(arg string) ([]kernels.Spec, error) {
 // kernel and memory image come from a frozen workload artifact (the same
 // checkout path the harness cache uses); -no-cache takes the legacy
 // build-per-run path. Results are identical either way.
-func runOne(w io.Writer, spec kernels.Spec, arch string, scale int, blocks, grid, trace, noCache bool) error {
+func runOne(w io.Writer, spec kernels.Spec, rc runCfg) error {
 	var inst *kernels.Instance
-	if noCache {
-		built, err := spec.Build(scale)
+	if rc.noCache {
+		built, err := spec.Build(rc.scale)
 		if err != nil {
 			return fmt.Errorf("build: %w", err)
 		}
 		inst = built
 	} else {
-		wl, err := kernels.NewWorkload(spec, scale)
+		wl, err := kernels.NewWorkload(spec, rc.scale)
 		if err != nil {
 			return fmt.Errorf("build: %w", err)
 		}
@@ -187,15 +275,15 @@ func runOne(w io.Writer, spec kernels.Spec, arch string, scale int, blocks, grid
 		spec.Name, inst.Launch.Threads(), len(inst.Kernel.Blocks), inst.Kernel.NumInstrs())
 
 	var err error
-	switch arch {
+	switch rc.arch {
 	case "vgiw":
-		err = runVGIW(w, inst, blocks, grid, trace)
+		err = runVGIW(w, inst, rc)
 	case "simt":
-		err = runSIMT(w, inst)
+		err = runSIMT(w, inst, rc)
 	case "sgmf":
-		err = runSGMF(w, inst)
+		err = runSGMF(w, inst, rc)
 	default:
-		return fmt.Errorf("unknown architecture %q", arch)
+		return fmt.Errorf("unknown architecture %q", rc.arch)
 	}
 	if err != nil {
 		return err
@@ -208,11 +296,12 @@ func runOne(w io.Writer, spec kernels.Spec, arch string, scale int, blocks, grid
 	return nil
 }
 
-func runVGIW(w io.Writer, inst *kernels.Instance, blocks, grid, trace bool) error {
+func runVGIW(w io.Writer, inst *kernels.Instance, rc runCfg) error {
 	cfg := core.DefaultConfig()
-	if grid {
+	if rc.grid {
 		cfg.Engine.Profile = true
 	}
+	cfg.Engine.Trace = rc.sink
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return err
@@ -225,6 +314,9 @@ func runVGIW(w io.Writer, inst *kernels.Instance, blocks, grid, trace bool) erro
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
+	if rc.reg != nil {
+		bench.FoldVGIW(rc.reg, inst.Kernel.Name, res)
+	}
 	e := power.VGIW(res, power.DefaultTable())
 	fmt.Fprintf(w, "VGIW: %d cycles, %d tiles (tile size %d)\n", res.Cycles, res.Tiles, res.TileSize)
 	fmt.Fprintf(w, "  reconfigurations: %d (%.3f%% of runtime)\n", res.Reconfigs, res.ConfigOverhead()*100)
@@ -233,25 +325,25 @@ func runVGIW(w io.Writer, inst *kernels.Instance, blocks, grid, trace bool) erro
 	fmt.Fprintf(w, "  ops by unit class: %v\n", res.Ops)
 	fmt.Fprintf(w, "  energy: %.2f uJ (core %.2f, L1 %.2f, L2 %.2f, MC %.2f, DRAM %.2f)\n",
 		e.SystemLevel()/1e6, e.Core/1e6, e.L1/1e6, e.L2/1e6, e.MC/1e6, e.DRAM/1e6)
-	if blocks {
+	if rc.blocks {
 		fmt.Fprintln(w, "  block schedule (block, threads, cycles):")
 		for _, br := range res.BlockRuns {
 			fmt.Fprintf(w, "    @%d %-18s %6d threads %8d cycles\n",
 				br.Block, ck.Kernel.Blocks[br.Block].Label, br.Threads, br.Cycles)
 		}
 	}
-	if grid {
+	if rc.grid {
 		printGrid(w, m, res)
 	}
-	if trace {
-		printTrace(w, ck, res)
+	if rc.timeline {
+		printTimeline(w, ck, res)
 	}
 	return nil
 }
 
-// printTrace renders the BBS schedule as a timeline: one bar per scheduled
+// printTimeline renders the BBS schedule as a timeline: one bar per scheduled
 // vector, positioned by start cycle (the control-flow-coalescing Gantt).
-func printTrace(w io.Writer, ck *compile.CompiledKernel, res *core.Result) {
+func printTimeline(w io.Writer, ck *compile.CompiledKernel, res *core.Result) {
 	if len(res.BlockRuns) == 0 {
 		return
 	}
@@ -338,14 +430,19 @@ func printGrid(w io.Writer, m *core.Machine, res *core.Result) {
 	}
 }
 
-func runSIMT(w io.Writer, inst *kernels.Instance) error {
+func runSIMT(w io.Writer, inst *kernels.Instance, rc runCfg) error {
 	ck, err := compile.Compile(inst.Kernel)
 	if err != nil {
 		return fmt.Errorf("compile: %w", err)
 	}
-	res, err := simt.NewMachine(simt.DefaultConfig()).Run(ck, inst.Launch, inst.Global)
+	cfg := simt.DefaultConfig()
+	cfg.Trace = rc.sink
+	res, err := simt.NewMachine(cfg).Run(ck, inst.Launch, inst.Global)
 	if err != nil {
 		return fmt.Errorf("run: %w", err)
+	}
+	if rc.reg != nil {
+		bench.FoldSIMT(rc.reg, inst.Kernel.Name, res)
 	}
 	e := power.SIMT(res, power.DefaultTable())
 	fmt.Fprintf(w, "SIMT (Fermi-like SM): %d cycles\n", res.Cycles)
@@ -358,14 +455,19 @@ func runSIMT(w io.Writer, inst *kernels.Instance) error {
 	return nil
 }
 
-func runSGMF(w io.Writer, inst *kernels.Instance) error {
-	m, err := sgmf.NewMachine(sgmf.DefaultConfig())
+func runSGMF(w io.Writer, inst *kernels.Instance, rc runCfg) error {
+	cfg := sgmf.DefaultConfig()
+	cfg.Engine.Trace = rc.sink
+	m, err := sgmf.NewMachine(cfg)
 	if err != nil {
 		return err
 	}
 	res, err := m.Run(inst.Kernel, inst.Launch, inst.Global)
 	if err != nil {
 		return fmt.Errorf("run: %w (SGMF cannot map kernels with loops, barriers, or oversized graphs)", err)
+	}
+	if rc.reg != nil {
+		bench.FoldSGMF(rc.reg, inst.Kernel.Name, res)
 	}
 	e := power.SGMF(res, power.DefaultTable())
 	fmt.Fprintf(w, "SGMF: %d cycles\n", res.Cycles)

@@ -19,6 +19,7 @@ import (
 	"vgiw/internal/power"
 	"vgiw/internal/sgmf"
 	"vgiw/internal/simt"
+	"vgiw/internal/trace"
 )
 
 // Options configures a harness run.
@@ -46,6 +47,12 @@ type Options struct {
 	// the cache on or off — this is an escape hatch and the reference
 	// point for the determinism tests.
 	NoCache bool
+	// Trace, when non-nil, receives cycle-level events from every machine in
+	// the sweep (the sink is mutex-protected, so parallel sweeps may share
+	// one; event interleaving across kernels then follows host scheduling,
+	// but each run's own track is internally ordered). Simulated results are
+	// byte-identical with tracing on or off.
+	Trace *trace.Sink
 }
 
 // DefaultOptions returns the paper's machine configurations.
@@ -207,6 +214,14 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 	start := time.Now()
 	cache := opt.effectiveCache()
 	out := &KernelRun{Spec: spec}
+	if opt.Trace != nil {
+		// Route the sweep's sink into every machine configuration (opt is a
+		// by-value copy; artifact-cache keys exclude engine options, so a
+		// traced run still shares compile/place artifacts).
+		opt.VGIW.Engine.Trace = opt.Trace
+		opt.SIMT.Trace = opt.Trace
+		opt.SGMF.Engine.Trace = opt.Trace
+	}
 
 	w, wt, err := cache.workload(spec, opt.Scale)
 	if err != nil {
@@ -333,6 +348,9 @@ type SuiteResult struct {
 	// -no-cache). When the caller shares one cache across several sweeps
 	// the counters are deltas for this call.
 	Cache CacheStats
+	// Metrics is the unified metrics registry folded from every run
+	// ("<kernel>/<backend>.<metric>" plus suite-level counters).
+	Metrics *trace.Registry
 }
 
 // RunSuite executes the full registry and records the sweep's wall-clock
@@ -358,6 +376,7 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 	for _, kr := range runs {
 		out.Stages.Add(kr.Stages)
 	}
+	out.Metrics = CollectMetrics(runs)
 	return out, err
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"vgiw/internal/trace"
 )
 
 // JSONRun is the machine-readable form of one benchmark's results.
@@ -74,6 +76,12 @@ type JSONReport struct {
 	// Artifact-cache accounting for the sweep (absent under -no-cache).
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+
+	// Metrics is the unified registry flattened to name -> value
+	// ("<kernel>/<backend>.<metric>"; histograms expand to
+	// .count/.sum/.min/.max/.mean_x1000). Present on suite reports.
+	MetricsSchema string            `json:"metrics_schema,omitempty"`
+	Metrics       map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // BuildJSON converts harness results into the export form.
@@ -147,6 +155,10 @@ func (s *SuiteResult) Report(scale int) JSONReport {
 	rep.StageSimulateMS = durMS(s.Stages.Simulate)
 	rep.CacheHits = s.Cache.HitsTotal()
 	rep.CacheMisses = s.Cache.MissesTotal()
+	if s.Metrics != nil {
+		rep.MetricsSchema = trace.MetricsSchema
+		rep.Metrics = s.Metrics.Flat()
+	}
 	return rep
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"vgiw/internal/mem"
+	"vgiw/internal/trace"
 )
 
 // LVC is the live value cache (§3.4): a banked cache over the memory-resident
@@ -14,8 +15,17 @@ type LVC struct {
 	matrix  [][]uint32 // [liveValueID][threadID]
 	threads int
 
+	sink  *trace.Sink
+	track trace.TrackID
+
 	Loads  uint64
 	Stores uint64
+}
+
+// SetTrace routes per-access hit/miss/spill events (trace.CatLVC) to a sink
+// track. A nil sink (the default) keeps Access allocation-free.
+func (l *LVC) SetTrace(s *trace.Sink, track trace.TrackID) {
+	l.sink, l.track = s, track
 }
 
 // DefaultLVCConfig is the evaluated 64KB LVC (§3.4): banked like a GPGPU L1,
@@ -71,6 +81,18 @@ func (l *LVC) Access(lv, tid int, write bool, value uint32, now int64) (uint32, 
 	}
 	if !res.Hit {
 		done = l.sys.AccessViaL2(lineAddr, false, res.Ready) + l.cache.Config().HitLat
+	}
+	if l.sink.Enabled(trace.CatLVC) {
+		name := "lvc.hit"
+		if !res.Hit {
+			name = "lvc.miss"
+		}
+		l.sink.Emit(trace.Event{Name: name, Cat: trace.CatLVC, Phase: trace.PhaseInstant,
+			Track: l.track, Ts: now, K1: "lv", V1: int64(lv), K2: "tid", V2: int64(tid)})
+		if res.Writeback >= 0 {
+			l.sink.Emit(trace.Event{Name: "lvc.spill", Cat: trace.CatLVC, Phase: trace.PhaseInstant,
+				Track: l.track, Ts: res.Ready, K1: "line", V1: res.Writeback})
+		}
 	}
 
 	out := uint32(0)

@@ -8,6 +8,7 @@ import (
 	"vgiw/internal/fabric"
 	"vgiw/internal/kir"
 	"vgiw/internal/mem"
+	"vgiw/internal/trace"
 )
 
 // Config assembles a full VGIW processor (Table 1 by default).
@@ -56,6 +57,40 @@ type Machine struct {
 	// threadScratch is the reusable coalesced-vector buffer handed to the
 	// engine each block run (the engine only reads it during the call).
 	threadScratch []int
+
+	// tr is the per-run trace track layout (zero when tracing is off).
+	tr vgiwTracks
+}
+
+// vgiwTracks lays out one VGIW run's trace tracks: the BBS schedule (block
+// vectors + reconfigurations), the CVT feed, the LVC feed, the memory-system
+// counters, and the fabric's node firings. All share one process per run.
+type vgiwTracks struct {
+	on                         bool
+	bbs, cvt, lvc, mem, fabric trace.TrackID
+}
+
+// setupTrace allocates the run's trace process and names its tracks.
+func (m *Machine) setupTrace(kernelName string) {
+	sink := m.cfg.Engine.Trace
+	m.tr = vgiwTracks{}
+	if !sink.Enabled(trace.CatVGIW | trace.CatCVT | trace.CatLVC | trace.CatMem | trace.CatEngine) {
+		return
+	}
+	pid := sink.AllocProcess(kernelName + "/vgiw")
+	m.tr = vgiwTracks{
+		on:     true,
+		bbs:    trace.TrackID{Pid: pid, Tid: 0},
+		cvt:    trace.TrackID{Pid: pid, Tid: 1},
+		lvc:    trace.TrackID{Pid: pid, Tid: 2},
+		mem:    trace.TrackID{Pid: pid, Tid: 3},
+		fabric: trace.TrackID{Pid: pid, Tid: 4},
+	}
+	sink.DefineTrack(m.tr.bbs, "bbs")
+	sink.DefineTrack(m.tr.cvt, "cvt")
+	sink.DefineTrack(m.tr.lvc, "lvc")
+	sink.DefineTrack(m.tr.mem, "mem")
+	sink.DefineTrack(m.tr.fabric, "fabric")
 }
 
 // NewMachine builds the processor.
@@ -221,6 +256,10 @@ func (m *Machine) RunPrepared(prep *Prepared, launch kir.Launch, global []uint32
 		return nil, err
 	}
 	lvc := NewLVC(m.cfg.LVC, sys, ck.LV.NumIDs, tile)
+	m.setupTrace(k.Name)
+	if m.tr.on {
+		lvc.SetTrace(m.cfg.Engine.Trace, m.tr.lvc)
+	}
 
 	now := int64(0)
 	total := launch.Threads()
@@ -256,25 +295,36 @@ func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Place
 	cvt.SetAll(0, n)
 	lvc.Reset()
 	res.Tiles++
+	sink := m.cfg.Engine.Trace
 
 	hooks := env.Hooks()
+	hooks.TraceTrack = m.tr.fabric
 	hooks.AccessLV = func(lv, tid int, write bool, value uint32, at int64) (uint32, int64) {
 		return lvc.Access(lv, tid-base, write, value, at)
 	}
 	curBlock := 0
-	hooks.Branch = func(tid int, cond uint32) {
+	hooks.Branch = func(tid int, cond uint32, now int64) {
 		t := k.Blocks[curBlock].Term
+		target := -1
 		switch t.Kind {
 		case kir.TermJump:
-			cvt.Register(t.Then, tid-base)
+			target = t.Then
 		case kir.TermBranch:
 			if cond != 0 {
-				cvt.Register(t.Then, tid-base)
+				target = t.Then
 			} else {
-				cvt.Register(t.Else, tid-base)
+				target = t.Else
 			}
 		case kir.TermRet:
 			// Thread retires.
+		}
+		if target < 0 {
+			return
+		}
+		cvt.Register(target, tid-base)
+		if sink.Enabled(trace.CatCVT) {
+			sink.Emit(trace.Event{Name: "cvt.enqueue", Cat: trace.CatCVT, Phase: trace.PhaseInstant,
+				Track: m.tr.cvt, Ts: now, K1: "block", V1: int64(target), K2: "tid", V2: int64(tid)})
 		}
 	}
 
@@ -311,11 +361,19 @@ func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Place
 			threads = append(threads, base+r)
 		}
 		m.threadScratch = threads
+		if sink.Enabled(trace.CatCVT) {
+			sink.Emit(trace.Event{Name: "cvt.coalesce", Cat: trace.CatCVT, Phase: trace.PhaseInstant,
+				Track: m.tr.cvt, Ts: now, K1: "block", V1: int64(b), K2: "threads", V2: int64(len(threads))})
+		}
 		// Reconfigure unless the grid already holds this block's graph.
 		// Configurations are prefetched during the previous block's
 		// execution, so only the reset+feed cost lands on the critical
 		// path (§3.2).
 		if b != lastBlock {
+			if sink.Enabled(trace.CatVGIW) {
+				sink.Emit(trace.Event{Name: "reconfig", Cat: trace.CatVGIW, Phase: trace.PhaseSpan,
+					Track: m.tr.bbs, Ts: now, Dur: m.cfg.Fabric.ConfigCycles, K1: "block", V1: int64(b)})
+			}
 			now += m.cfg.Fabric.ConfigCycles
 			res.Reconfigs++
 			res.ConfigCycles += m.cfg.Fabric.ConfigCycles
@@ -328,10 +386,40 @@ func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Place
 		}
 		br := BlockRun{Block: b, Threads: len(threads), Start: st.StartCycle, Cycles: st.Cycles()}
 		if m.cfg.Engine.Profile {
-			// The profiled engine returns a fresh Stats per run; the thread
-			// vector is scratch, so retain a copy.
-			br.Stats = st
+			// The profiled engine returns a fresh Stats per run, but Clone
+			// anyway so a retained BlockRun can never alias engine scratch
+			// (the reuse footgun Stats.Clone documents). The thread vector
+			// is scratch, so retain a copy too.
+			br.Stats = st.Clone()
 			br.ThreadIDs = append([]int(nil), threads...)
+		}
+		if sink.Enabled(trace.CatVGIW) {
+			// One span per coalesced block-vector execution: launch at
+			// StartCycle, retire at EndCycle. The label is the block's
+			// compile-time name, so the Perfetto track reads as the BBS
+			// schedule.
+			sink.Emit(trace.Event{Name: k.Blocks[b].Label, Cat: trace.CatVGIW, Phase: trace.PhaseSpan,
+				Track: m.tr.bbs, Ts: st.StartCycle, Dur: st.Cycles(),
+				K1: "block", V1: int64(b), K2: "threads", V2: int64(len(threads)),
+				K3: "replicas", V3: int64(placements[b].Replicas)})
+		}
+		if sink.Enabled(trace.CatMem) {
+			// Epoch sample: cumulative memory-system counters after every
+			// block-vector execution, rendered as counter tracks.
+			ms := env.Sys.Stats()
+			ls := lvc.Stats()
+			sink.Emit(trace.Event{Name: "l1", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+				Track: m.tr.mem, Ts: st.EndCycle,
+				K1: "accesses", V1: int64(ms.L1.Accesses()), K2: "misses", V2: int64(ms.L1.Misses())})
+			sink.Emit(trace.Event{Name: "l2", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+				Track: m.tr.mem, Ts: st.EndCycle,
+				K1: "accesses", V1: int64(ms.L2.Accesses()), K2: "misses", V2: int64(ms.L2.Misses())})
+			sink.Emit(trace.Event{Name: "dram", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+				Track: m.tr.mem, Ts: st.EndCycle,
+				K1: "reads", V1: int64(ms.DRAM.Reads), K2: "writes", V2: int64(ms.DRAM.Writes)})
+			sink.Emit(trace.Event{Name: "lvc", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+				Track: m.tr.mem, Ts: st.EndCycle,
+				K1: "accesses", V1: int64(ls.Accesses()), K2: "misses", V2: int64(ls.Misses())})
 		}
 		res.BlockRuns = append(res.BlockRuns, br)
 		for cl, c := range st.Ops {

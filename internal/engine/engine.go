@@ -25,6 +25,7 @@ import (
 	"vgiw/internal/fabric"
 	"vgiw/internal/kir"
 	"vgiw/internal/mem"
+	"vgiw/internal/trace"
 )
 
 // Space distinguishes memory address spaces.
@@ -52,8 +53,14 @@ type Hooks struct {
 	// Unused by SGMF graphs (which have no LV nodes).
 	AccessLV func(lv int, tid int, write bool, value uint32, now int64) (word uint32, done int64)
 	// Branch reports a thread's terminator outcome so the caller can update
-	// the control vector table. taken is meaningful only for TermBranch.
-	Branch func(tid int, cond uint32)
+	// the control vector table. cond is meaningful only for TermBranch; now
+	// is the cycle the terminator CVU delivers its batch packet, which is
+	// what timestamps the CVT enqueue trace events.
+	Branch func(tid int, cond uint32, now int64)
+	// TraceTrack attributes this run's engine-level trace events (node
+	// firings) to one track of Options.Trace. Zero means the sink's default
+	// track; callers running several graphs set a per-run track.
+	TraceTrack trace.TrackID
 }
 
 // Options tune engine behaviour (used by ablation studies).
@@ -64,6 +71,11 @@ type Options struct {
 	InOrderThreads bool
 	// Profile records per-node latency statistics into Stats.NodeLatency.
 	Profile bool
+	// Trace, when non-nil, receives per-node firing events (trace.CatEngine)
+	// on the track named by Hooks.TraceTrack. A nil sink (or one whose
+	// filter excludes CatEngine) keeps the hot path allocation-free — the
+	// contract BenchmarkEngineHotPath enforces.
+	Trace *trace.Sink
 }
 
 // ClassCounts is a dense per-unit-class counter array indexed by
@@ -122,6 +134,24 @@ type Stats struct {
 
 // Cycles is the wall-clock cycle count of the vector execution.
 func (s *Stats) Cycles() int64 { return s.EndCycle - s.StartCycle }
+
+// Clone returns an independent deep copy. Callers that retain the *Stats
+// returned by RunVector across further runs on the same engine must clone
+// it: without Options.Profile the engine recycles one Stats buffer, so a
+// retained pointer would be retroactively overwritten by the next run.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	if s.NodeLatency != nil {
+		c.NodeLatency = append([]int64(nil), s.NodeLatency...)
+	}
+	if s.NodeService != nil {
+		c.NodeService = append([]int64(nil), s.NodeService...)
+	}
+	if s.UnitIssues != nil {
+		c.UnitIssues = append([]uint64(nil), s.UnitIssues...)
+	}
+	return &c
+}
 
 // OpLatency is the per-opcode execution latency table shared by all
 // simulators (the SIMT baseline uses it too, so the comparison is apples to
@@ -301,7 +331,7 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 			done = start + 1
 			cond := e.vals[n.In[0]]
 			if h.Branch != nil {
-				h.Branch(tid, cond)
+				h.Branch(tid, cond, done)
 			}
 
 		case compile.NodeSplit:
@@ -334,6 +364,13 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 		st.Ops[n.Class()]++
 		if n.Kind == compile.NodeOp && n.Instr.Op.IsFloat() && n.Class() == kir.ClassALU {
 			st.FPOps++
+		}
+		if e.opt.Trace.Enabled(trace.CatEngine) {
+			e.opt.Trace.Emit(trace.Event{
+				Name: nodeEventName(n), Cat: trace.CatEngine, Phase: trace.PhaseSpan,
+				Track: h.TraceTrack, Ts: ready, Dur: done - ready,
+				K1: "node", V1: int64(n.ID), K2: "tid", V2: int64(tid), K3: "replica", V3: int64(r),
+			})
 		}
 		if e.opt.Profile {
 			if len(st.NodeLatency) < len(g.Nodes) {
@@ -410,6 +447,28 @@ func (e *Engine) execOp(n *compile.Node, unit, tid int, ready int64, h *Hooks, s
 		val := kir.Eval(op, e.operand(n, 0), e.operand(n, 1), e.operand(n, 2), n.Instr.Imm)
 		return val, start + OpLatency(op), nil
 	}
+}
+
+// nodeEventName labels a node-firing trace event. All returned strings are
+// static (the op mnemonic table or literals), per the sink's no-copy rule.
+func nodeEventName(n *compile.Node) string {
+	switch n.Kind {
+	case compile.NodeInit:
+		return "init"
+	case compile.NodeTerm:
+		return "term"
+	case compile.NodeSplit:
+		return "split"
+	case compile.NodeJoin:
+		return "join"
+	case compile.NodeLVLoad:
+		return "lvload"
+	case compile.NodeLVStore:
+		return "lvstore"
+	case compile.NodeOp:
+		return n.Instr.Op.String()
+	}
+	return "node"
 }
 
 func (e *Engine) operand(n *compile.Node, i int) uint32 {

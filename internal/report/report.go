@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -79,18 +80,21 @@ func (t *Table) Write(w io.Writer) error {
 	return err
 }
 
-// WriteCSV renders the table as CSV (no quoting: cells here never contain
-// commas).
+// WriteCSV renders the table as RFC 4180 CSV: cells containing commas,
+// quotes, or newlines are quoted and embedded quotes doubled, so any cell
+// value round-trips through a standard CSV reader.
 func (t *Table) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(t.Headers, ",")); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 func pad(s string, w int) string {

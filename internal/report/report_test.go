@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/csv"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -62,6 +64,39 @@ func TestTableCSV(t *testing.T) {
 	}
 	if len(lines) != 4 {
 		t.Errorf("csv has %d lines, want 4", len(lines))
+	}
+}
+
+// TestCSVQuoting pins RFC 4180 behaviour: cells containing commas, double
+// quotes, or newlines must be quoted (with embedded quotes doubled) so they
+// survive a standard CSV reader.
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Headers: []string{"kernel", "note"}}
+	tbl.AddRow("bfs,kernel1", `says "hi"`)
+	tbl.AddRow("line\nbreak", "plain")
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"bfs,kernel1"`, `"says ""hi"""`, "\"line\nbreak\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing quoted form %q in:\n%s", want, out)
+		}
+	}
+
+	// Round trip through the standard reader.
+	rec, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not re-parse: %v", err)
+	}
+	want := [][]string{
+		{"kernel", "note"},
+		{"bfs,kernel1", `says "hi"`},
+		{"line\nbreak", "plain"},
+	}
+	if !reflect.DeepEqual(rec, want) {
+		t.Errorf("round trip = %q, want %q", rec, want)
 	}
 }
 

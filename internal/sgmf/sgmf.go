@@ -19,6 +19,7 @@ import (
 	"vgiw/internal/fabric"
 	"vgiw/internal/kir"
 	"vgiw/internal/mem"
+	"vgiw/internal/trace"
 )
 
 // Config assembles an SGMF core.
@@ -155,12 +156,48 @@ func (m *Machine) RunMapped(mapped *Mapped, launch kir.Launch, global []uint32) 
 	for i := range threads {
 		threads[i] = i
 	}
+	hooks := env.Hooks()
+	sink := m.cfg.Engine.Trace
+	var tracks struct{ run, fabric, mem trace.TrackID }
+	traced := sink.Enabled(trace.CatSGMF | trace.CatEngine | trace.CatMem)
+	if traced {
+		pid := sink.AllocProcess(k.Name + "/sgmf")
+		tracks.run = trace.TrackID{Pid: pid, Tid: 0}
+		tracks.fabric = trace.TrackID{Pid: pid, Tid: 1}
+		tracks.mem = trace.TrackID{Pid: pid, Tid: 2}
+		sink.DefineTrack(tracks.run, "run")
+		sink.DefineTrack(tracks.fabric, "fabric")
+		sink.DefineTrack(tracks.mem, "mem")
+		hooks.TraceTrack = tracks.fabric
+	}
 	// A single configuration at kernel load; afterwards threads stream
 	// continuously (no BBS, no reconfiguration).
 	start := m.cfg.Fabric.ConfigCycles
-	st, err := m.eng.RunVector(p, threads, start, env.Hooks())
+	if sink.Enabled(trace.CatSGMF) {
+		sink.Emit(trace.Event{Name: "configure", Cat: trace.CatSGMF, Phase: trace.PhaseSpan,
+			Track: tracks.run, Ts: 0, Dur: start, K1: "nodes", V1: int64(len(p.Graph.Nodes))})
+	}
+	st, err := m.eng.RunVector(p, threads, start, hooks)
 	if err != nil {
 		return nil, err
+	}
+	if sink.Enabled(trace.CatSGMF) {
+		// One span for the whole streamed kernel: SGMF has no block schedule.
+		sink.Emit(trace.Event{Name: k.Name, Cat: trace.CatSGMF, Phase: trace.PhaseSpan,
+			Track: tracks.run, Ts: st.StartCycle, Dur: st.Cycles(),
+			K1: "threads", V1: int64(launch.Threads()), K2: "replicas", V2: int64(p.Replicas)})
+	}
+	if sink.Enabled(trace.CatMem) {
+		ms := sys.Stats()
+		sink.Emit(trace.Event{Name: "l1", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+			Track: tracks.mem, Ts: st.EndCycle,
+			K1: "accesses", V1: int64(ms.L1.Accesses()), K2: "misses", V2: int64(ms.L1.Misses())})
+		sink.Emit(trace.Event{Name: "l2", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+			Track: tracks.mem, Ts: st.EndCycle,
+			K1: "accesses", V1: int64(ms.L2.Accesses()), K2: "misses", V2: int64(ms.L2.Misses())})
+		sink.Emit(trace.Event{Name: "dram", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+			Track: tracks.mem, Ts: st.EndCycle,
+			K1: "reads", V1: int64(ms.DRAM.Reads), K2: "writes", V2: int64(ms.DRAM.Writes)})
 	}
 	defer sys.Release() // stats snapshotted below; recycle the directories
 	return &Result{

@@ -16,6 +16,7 @@ import (
 	"vgiw/internal/engine"
 	"vgiw/internal/kir"
 	"vgiw/internal/mem"
+	"vgiw/internal/trace"
 )
 
 // Config sizes the SM.
@@ -43,6 +44,11 @@ type Config struct {
 	// Scheduler selects the warp scheduling policy.
 	Scheduler SchedPolicy
 	Mem       mem.Config
+	// Trace, when non-nil, receives cycle-level events (trace.CatSIMT for
+	// warp issue/stall/divergence/reconvergence/barrier, trace.CatMem for
+	// periodic memory-system counter samples). A nil sink keeps the issue
+	// loop allocation-free.
+	Trace *trace.Sink
 }
 
 // SchedPolicy selects how the warp scheduler picks among ready warps.
@@ -179,6 +185,18 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 		global: global,
 		sys:    mem.NewSystem(m.cfg.Mem),
 		res:    &Result{Kernel: k.Name, Threads: launch.Threads()},
+		sink:   m.cfg.Trace,
+	}
+	if r.sink.Enabled(trace.CatSIMT | trace.CatMem) {
+		pid := r.sink.AllocProcess(k.Name + "/simt")
+		r.tr = simtTracks{
+			sched: trace.TrackID{Pid: pid, Tid: 0},
+			div:   trace.TrackID{Pid: pid, Tid: 1},
+			mem:   trace.TrackID{Pid: pid, Tid: 2},
+		}
+		r.sink.DefineTrack(r.tr.sched, "sched")
+		r.sink.DefineTrack(r.tr.div, "divergence")
+		r.sink.DefineTrack(r.tr.mem, "mem")
 	}
 	r.shared = make([][]uint32, launch.CTAs())
 	for i := range r.shared {
@@ -221,6 +239,43 @@ type run struct {
 	// instructions so the hot path allocates nothing; lane order (not map
 	// order) decides the access sequence, keeping runs reproducible.
 	memScratch []int64
+
+	// sink/tr route cycle-level events; lastMemSample throttles the
+	// memory-counter track to one sample per memSampleCycles.
+	sink          *trace.Sink
+	tr            simtTracks
+	lastMemSample int64
+}
+
+// simtTracks lays out one SIMT run's trace tracks: the issue stream
+// (issue spans + stall gaps), divergence-stack activity, and memory-system
+// counter samples.
+type simtTracks struct {
+	sched, div, mem trace.TrackID
+}
+
+// memSampleCycles is the SIMT memory-counter sampling period. The SM has no
+// natural epoch boundary like VGIW's block-vector retirement, so counters are
+// sampled on a fixed cycle grid.
+const memSampleCycles = 1024
+
+// sampleMem emits cumulative memory-system counters onto the mem track, at
+// most once per memSampleCycles.
+func (r *run) sampleMem() {
+	if !r.sink.Enabled(trace.CatMem) || r.cycle-r.lastMemSample < memSampleCycles {
+		return
+	}
+	r.lastMemSample = r.cycle
+	ms := r.sys.Stats()
+	r.sink.Emit(trace.Event{Name: "l1", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+		Track: r.tr.mem, Ts: r.cycle,
+		K1: "accesses", V1: int64(ms.L1.Accesses()), K2: "misses", V2: int64(ms.L1.Misses())})
+	r.sink.Emit(trace.Event{Name: "l2", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+		Track: r.tr.mem, Ts: r.cycle,
+		K1: "accesses", V1: int64(ms.L2.Accesses()), K2: "misses", V2: int64(ms.L2.Misses())})
+	r.sink.Emit(trace.Event{Name: "dram", Cat: trace.CatMem, Phase: trace.PhaseCounter,
+		Track: r.tr.mem, Ts: r.cycle,
+		K1: "reads", V1: int64(ms.DRAM.Reads), K2: "writes", V2: int64(ms.DRAM.Writes)})
 }
 
 // Execution port indices.
@@ -283,6 +338,7 @@ func (r *run) execute() error {
 		}
 		if issued > 0 {
 			r.cycle++
+			r.sampleMem()
 			continue
 		}
 		// Nothing issuable this cycle: jump to the next event.
@@ -301,7 +357,15 @@ func (r *run) execute() error {
 		if next <= r.cycle {
 			next = r.cycle + 1
 		}
+		if r.sink.Enabled(trace.CatSIMT) {
+			// An issue-less gap: every resident warp is stalled on the
+			// scoreboard, an execution port, or a barrier.
+			r.sink.Emit(trace.Event{Name: "stall", Cat: trace.CatSIMT, Phase: trace.PhaseSpan,
+				Track: r.tr.sched, Ts: r.cycle, Dur: next - r.cycle,
+				K1: "warps", V1: int64(r.liveWarps())})
+		}
 		r.cycle = next
+		r.sampleMem()
 	}
 }
 
@@ -519,6 +583,14 @@ func (r *run) issueInstr(w *warp, in kir.Instr) error {
 	w.readyAt = r.cycle + 1
 	e.instr++
 	w.issueValid = false // next instruction, new readyAt, new regReady[dst]
+	if r.sink.Enabled(trace.CatSIMT) {
+		// One span per issued warp instruction: issue to execution-complete
+		// (the op name labels the span; the register writeback lands
+		// PipelineLat later).
+		r.sink.Emit(trace.Event{Name: in.Op.String(), Cat: trace.CatSIMT, Phase: trace.PhaseSpan,
+			Track: r.tr.sched, Ts: r.cycle, Dur: done - r.cycle,
+			K1: "warp", V1: int64(w.id), K2: "block", V2: int64(e.block), K3: "lanes", V3: int64(lanesOn)})
+	}
 	return nil
 }
 
@@ -674,6 +746,11 @@ func (r *run) issueTerm(w *warp, t kir.Terminator) error {
 			r.res.Divergences++
 			d := r.ipdom[e.block]
 			full := e.mask
+			if r.sink.Enabled(trace.CatSIMT) {
+				r.sink.Emit(trace.Event{Name: "diverge", Cat: trace.CatSIMT, Phase: trace.PhaseInstant,
+					Track: r.tr.div, Ts: r.cycle,
+					K1: "warp", V1: int64(w.id), K2: "block", V2: int64(e.block), K3: "depth", V3: int64(len(w.stack) + 2)})
+			}
 			// Continuation at the reconvergence point, then the two paths.
 			*e = stackEntry{block: d, instr: 0, rpc: e.rpc, mask: full}
 			w.stack = append(w.stack,
@@ -693,13 +770,20 @@ func (r *run) issueTerm(w *warp, t kir.Terminator) error {
 // reconverge pops stack levels whose control reached their reconvergence
 // point, then drops empty-mask levels (all lanes exited).
 func (r *run) reconverge(w *warp) {
+	pops := 0
 	for len(w.stack) > 0 {
 		e := w.top()
 		if e.mask == 0 || (e.rpc >= 0 && e.block == e.rpc && e.instr == 0) {
 			w.stack = w.stack[:len(w.stack)-1]
+			pops++
 			continue
 		}
 		break
+	}
+	if pops > 0 && r.sink.Enabled(trace.CatSIMT) {
+		r.sink.Emit(trace.Event{Name: "reconverge", Cat: trace.CatSIMT, Phase: trace.PhaseInstant,
+			Track: r.tr.div, Ts: r.cycle,
+			K1: "warp", V1: int64(w.id), K2: "pops", V2: int64(pops), K3: "depth", V3: int64(len(w.stack))})
 	}
 	if len(w.stack) == 0 {
 		r.retireWarp(w)
@@ -741,6 +825,11 @@ func (r *run) checkBarrier(w *warp) {
 	r.barriers[w.cta]++
 	w.atBarrier = true
 	r.res.Barriers++
+	if r.sink.Enabled(trace.CatSIMT) {
+		r.sink.Emit(trace.Event{Name: "barrier.wait", Cat: trace.CatSIMT, Phase: trace.PhaseInstant,
+			Track: r.tr.div, Ts: r.cycle,
+			K1: "warp", V1: int64(w.id), K2: "cta", V2: int64(w.cta), K3: "waiting", V3: int64(r.barriers[w.cta])})
+	}
 	r.releaseBarrier(w.cta)
 }
 
@@ -760,6 +849,11 @@ func (r *run) releaseBarrier(cta int) {
 			}
 			w.issueValid = false // readyAt may have moved
 		}
+	}
+	if r.sink.Enabled(trace.CatSIMT) {
+		r.sink.Emit(trace.Event{Name: "barrier.release", Cat: trace.CatSIMT, Phase: trace.PhaseInstant,
+			Track: r.tr.div, Ts: r.cycle,
+			K1: "cta", V1: int64(cta), K2: "released", V2: int64(r.barriers[cta])})
 	}
 	r.barriers[cta] = 0
 }
