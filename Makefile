@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet race bench trace-check fmt
+.PHONY: check build test vet race bench trace-check serve-check fmt
 
 # check is the full pre-merge gate: static checks, the test suite under the
 # race detector, one iteration of each perf-guard benchmark (allocs/op
-# regressions show up even at -benchtime=1x), and the trace/metrics schema
-# gate.
-check: vet build race bench trace-check
+# regressions show up even at -benchtime=1x), the trace/metrics schema gate,
+# and the daemon smoke test.
+check: vet build race bench trace-check serve-check
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ bench:
 # against testdata/metrics_golden.txt (regenerate with -update-golden).
 trace-check:
 	$(GO) test -run TestTraceCheck .
+
+# serve-check builds the real vgiwd binary, boots it on an ephemeral port,
+# submits/polls/cancels jobs over HTTP, scrapes /metrics, then SIGTERM-drains
+# it and requires a clean exit (see cmd/vgiwd/main_test.go).
+serve-check:
+	$(GO) test -run TestServeCheck ./cmd/vgiwd
 
 fmt:
 	gofmt -l .

@@ -13,74 +13,92 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vgiw/internal/compile"
 	"vgiw/internal/fabric"
 	"vgiw/internal/kasm"
+	"vgiw/internal/version"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, separated from main so the golden tests can
+// exercise flags, output, and exit codes in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kasmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dumpDFG   = flag.Bool("dfg", false, "dump each block's dataflow graph")
-		printOnly = flag.Bool("print", false, "pretty-print the parsed kernel and exit")
+		dumpDFG   = fs.Bool("dfg", false, "dump each block's dataflow graph")
+		printOnly = fs.Bool("print", false, "pretty-print the parsed kernel and exit")
+		showVer   = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: kasmc [-dfg] [-print] <file.kasm>")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if *showVer {
+		fmt.Fprintln(stdout, version.String())
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: kasmc [-dfg] [-print] <file.kasm>")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fail("%v", err)
+		return fail(stderr, "%v", err)
 	}
 	k, err := kasm.Parse(string(src))
 	if err != nil {
-		fail("%v", err)
+		return fail(stderr, "%v", err)
 	}
 	if *printOnly {
-		fmt.Print(kasm.Print(k))
-		return
+		fmt.Fprint(stdout, kasm.Print(k))
+		return 0
 	}
 
 	grid, err := fabric.NewGrid(fabric.DefaultConfig())
 	if err != nil {
-		fail("%v", err)
+		return fail(stderr, "%v", err)
 	}
 	ck, err := compile.CompileFitted(k, grid.Fits)
 	if err != nil {
-		fail("compile: %v", err)
+		return fail(stderr, "compile: %v", err)
 	}
 
-	fmt.Printf("kernel %s: %d blocks, %d instructions, %d registers, %d live values\n",
+	fmt.Fprintf(stdout, "kernel %s: %d blocks, %d instructions, %d registers, %d live values\n",
 		k.Name, len(k.Blocks), k.NumInstrs(), k.NumRegs, ck.LV.NumIDs)
 	for bi, g := range ck.DFGs {
 		blk := k.Blocks[bi]
 		replicas := fabric.MaxReplicasFor(grid, g)
 		p, err := fabric.Place(grid, g, replicas)
 		if err != nil {
-			fail("place block %d: %v", bi, err)
+			return fail(stderr, "place block %d: %v", bi, err)
 		}
 		barrier := ""
 		if blk.Barrier {
 			barrier = " (barrier)"
 		}
-		fmt.Printf("\n@%d %s%s: %d nodes %v\n", bi, blk.Label, barrier, len(g.Nodes), g.ClassCounts())
-		fmt.Printf("  replication: %dx, critical path %d nodes, avg hop latency %.2f cycles\n",
+		fmt.Fprintf(stdout, "\n@%d %s%s: %d nodes %v\n", bi, blk.Label, barrier, len(g.Nodes), g.ClassCounts())
+		fmt.Fprintf(stdout, "  replication: %dx, critical path %d nodes, avg hop latency %.2f cycles\n",
 			replicas, g.CriticalPathLen(), p.AvgHops)
-		fmt.Printf("  LVC loads: %v, stores: %v\n", ck.LV.Loads[bi], ck.LV.Stores[bi])
-		fmt.Printf("  terminator: %s\n", blk.Term.String())
+		fmt.Fprintf(stdout, "  LVC loads: %v, stores: %v\n", ck.LV.Loads[bi], ck.LV.Stores[bi])
+		fmt.Fprintf(stdout, "  terminator: %s\n", blk.Term.String())
 		if *dumpDFG {
 			for _, n := range g.Nodes {
 				unit := grid.Units[p.UnitOf[0][n.ID]]
-				fmt.Printf("    node %3d %-8v %-7v @(%2d,%2d) in=%v ctl=%v\n",
+				fmt.Fprintf(stdout, "    node %3d %-8v %-7v @(%2d,%2d) in=%v ctl=%v\n",
 					n.ID, n.Kind, n.Instr.Op, unit.X, unit.Y, n.In, n.CtlIn)
 			}
 		}
 	}
+	return 0
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "kasmc: "+format+"\n", args...)
-	os.Exit(1)
+func fail(stderr io.Writer, format string, args ...any) int {
+	fmt.Fprintf(stderr, "kasmc: "+format+"\n", args...)
+	return 1
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the kasmc golden files from current output")
+
+const exampleKasm = "../../examples/kasm/kernel.kasm"
+
+// runGolden executes the driver and compares stdout to a golden file.
+func runGolden(t *testing.T, goldenName string, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	golden := filepath.Join("testdata", goldenName)
+	if *updateGolden {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/kasmc -update-golden` to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output changed (rerun with -update-golden if intended).\ngot:\n%s\nwant:\n%s",
+			stdout.String(), want)
+	}
+}
+
+func TestPrintGolden(t *testing.T) {
+	runGolden(t, "absdiff_print.golden", "-print", exampleKasm)
+}
+
+func TestCompileGolden(t *testing.T) {
+	runGolden(t, "absdiff_compile.golden", exampleKasm)
+}
+
+func TestDFGGolden(t *testing.T) {
+	runGolden(t, "absdiff_dfg.golden", "-dfg", exampleKasm)
+}
+
+func TestParseErrorExitsNonZero(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.kasm")
+	if err := os.WriteFile(bad, []byte("kernel broken\n@0 entry:\n  r0 = bogus r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{bad}, &stdout, &stderr); code == 0 {
+		t.Fatal("parse error exited 0")
+	}
+	if !strings.HasPrefix(stderr.String(), "kasmc: ") {
+		t.Errorf("error not reported on stderr: %q", stderr.String())
+	}
+}
+
+func TestMissingFileExitsNonZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"/no/such/file.kasm"}, &stdout, &stderr); code == 0 {
+		t.Fatal("missing file exited 0")
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args run = %d, want 2", code)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version = %d, stderr %q", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "vgiw ") {
+		t.Errorf("-version output %q", stdout.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"vgiw/internal/kernels"
 	"vgiw/internal/report"
 	"vgiw/internal/trace"
+	"vgiw/internal/version"
 )
 
 func main() {
@@ -53,8 +54,14 @@ func main() {
 		metrics  = flag.String("metrics", "", "write a one-line schema-versioned metrics snapshot (e.g. BENCH_trace.json) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

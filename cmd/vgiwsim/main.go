@@ -36,6 +36,7 @@ import (
 	"vgiw/internal/sgmf"
 	"vgiw/internal/simt"
 	"vgiw/internal/trace"
+	"vgiw/internal/version"
 )
 
 func main() {
@@ -54,8 +55,14 @@ func main() {
 		noCache  = flag.Bool("no-cache", false, "use the legacy build-per-run path instead of the shared workload artifact (results are identical)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (at exit) to this file")
+		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

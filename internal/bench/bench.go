@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -102,10 +103,12 @@ func (o Options) workers(n int) int {
 
 // forEach runs fn(i) for every i in [0,n), fanning the calls across the
 // options' worker pool. fn must be safe to call concurrently for distinct i.
-func (o Options) forEach(n int, fn func(i int)) {
+// Once ctx is done workers stop claiming new items (items already started
+// observe the cancellation themselves, through the simulators' own polls).
+func (o Options) forEach(ctx context.Context, n int, fn func(i int)) {
 	w := o.workers(n)
 	if w == 1 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
 			fn(i)
 		}
 		return
@@ -116,7 +119,7 @@ func (o Options) forEach(n int, fn func(i int)) {
 	for ; w > 0; w-- {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -211,6 +214,13 @@ func (k *KernelRun) EnergyEffVsSGMF() float64 {
 // against a private memory image, so results are byte-identical to an
 // uncached run.
 func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
+	return RunOneCtx(context.Background(), spec, opt)
+}
+
+// RunOneCtx is RunOne with cooperative cancellation: ctx is threaded into
+// every simulator's cycle loop, so a deadline or cancel preempts the run
+// mid-simulation and RunOneCtx returns an error wrapping ctx.Err().
+func RunOneCtx(ctx context.Context, spec kernels.Spec, opt Options) (*KernelRun, error) {
 	start := time.Now()
 	cache := opt.effectiveCache()
 	out := &KernelRun{Spec: spec}
@@ -242,7 +252,7 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 	out.Blocks = len(prep.CK.Kernel.Blocks)
 	sim0 := time.Now()
 	global := w.Global()
-	rv, err := mv.RunPrepared(prep, w.Launch, global)
+	rv, err := mv.RunPreparedCtx(ctx, prep, w.Launch, global)
 	if err != nil {
 		return nil, fmt.Errorf("%s: vgiw: %w", spec.Name, err)
 	}
@@ -262,7 +272,7 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 	out.Stages.Add(ct2)
 	sim0 = time.Now()
 	global = w.Global()
-	rs, err := simt.NewMachine(opt.SIMT).Run(cks, w.Launch, global)
+	rs, err := simt.NewMachine(opt.SIMT).RunCtx(ctx, cks, w.Launch, global)
 	if err != nil {
 		return nil, fmt.Errorf("%s: simt: %w", spec.Name, err)
 	}
@@ -286,7 +296,7 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 		out.Stages.Add(ct3)
 		sim0 = time.Now()
 		global = w.Global()
-		rg, err := mg.RunMapped(mapped, w.Launch, global)
+		rg, err := mg.RunMappedCtx(ctx, mapped, w.Launch, global)
 		if err != nil {
 			return nil, fmt.Errorf("%s: sgmf: %w", spec.Name, err)
 		}
@@ -311,11 +321,19 @@ func RunOne(spec kernels.Spec, opt Options) (*KernelRun, error) {
 // completed (in spec order) together with the joined per-kernel errors, so
 // callers can report which kernels failed and still use the rest.
 func RunMatrix(specs []kernels.Spec, opt Options) ([]*KernelRun, error) {
+	return RunMatrixCtx(context.Background(), specs, opt)
+}
+
+// RunMatrixCtx is RunMatrix with cooperative cancellation: once ctx is done
+// the worker pool stops claiming kernels, in-flight runs are preempted inside
+// their cycle loops, and the joined error includes ctx.Err() (check with
+// errors.Is). Runs that completed before the cancellation are still returned.
+func RunMatrixCtx(ctx context.Context, specs []kernels.Spec, opt Options) ([]*KernelRun, error) {
 	opt = opt.withSweepCache()
 	runs := make([]*KernelRun, len(specs))
 	errs := make([]error, len(specs))
-	opt.forEach(len(specs), func(i int) {
-		runs[i], errs[i] = RunOne(specs[i], opt)
+	opt.forEach(ctx, len(specs), func(i int) {
+		runs[i], errs[i] = RunOneCtx(ctx, specs[i], opt)
 	})
 	out := make([]*KernelRun, 0, len(specs))
 	for _, kr := range runs {
@@ -323,12 +341,23 @@ func RunMatrix(specs []kernels.Spec, opt Options) ([]*KernelRun, error) {
 			out = append(out, kr)
 		}
 	}
-	return out, errors.Join(errs...)
+	err := errors.Join(errs...)
+	if cerr := ctx.Err(); cerr != nil {
+		// Kernels the pool never claimed have nil errs entries; surface the
+		// cancellation itself exactly once.
+		err = errors.Join(err, cerr)
+	}
+	return out, err
 }
 
 // RunAll executes the full registry.
 func RunAll(opt Options) ([]*KernelRun, error) {
 	return RunMatrix(kernels.All(), opt)
+}
+
+// RunAllCtx executes the full registry with cooperative cancellation.
+func RunAllCtx(ctx context.Context, opt Options) ([]*KernelRun, error) {
+	return RunMatrixCtx(ctx, kernels.All(), opt)
 }
 
 // SuiteResult is a full-registry sweep plus host-side performance metadata
@@ -356,6 +385,12 @@ type SuiteResult struct {
 // RunSuite executes the full registry and records the sweep's wall-clock
 // time, per-stage split, cache accounting, and allocation count.
 func RunSuite(opt Options) (*SuiteResult, error) {
+	return RunSuiteCtx(context.Background(), opt)
+}
+
+// RunSuiteCtx is RunSuite with cooperative cancellation (see RunMatrixCtx
+// for the cancellation contract).
+func RunSuiteCtx(ctx context.Context, opt Options) (*SuiteResult, error) {
 	opt = opt.withSweepCache()
 	specs := kernels.All()
 	cache := opt.effectiveCache()
@@ -363,7 +398,7 @@ func RunSuite(opt Options) (*SuiteResult, error) {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	runs, err := RunMatrix(specs, opt)
+	runs, err := RunMatrixCtx(ctx, specs, opt)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	out := &SuiteResult{

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -251,7 +252,7 @@ func LVCSweep(opt Options, sizesKB []int, kernelNames []string) (*report.Table, 
 	nCells := len(specs) * len(sizesKB)
 	cycles := make([]int64, nCells)
 	errs := make([]error, nCells)
-	opt.forEach(nCells, func(cell int) {
+	opt.forEach(context.Background(), nCells, func(cell int) {
 		spec, kb := specs[cell/len(sizesKB)], sizesKB[cell%len(sizesKB)]
 		cycles[cell], errs[cell] = lvcCell(opt, spec, kb)
 	})

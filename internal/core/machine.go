@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vgiw/internal/compile"
@@ -212,6 +213,14 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 // global memory in place. It treats prep as read-only, so a cached Prepared
 // can be executed concurrently by independent machines.
 func (m *Machine) RunPrepared(prep *Prepared, launch kir.Launch, global []uint32) (*Result, error) {
+	return m.RunPreparedCtx(context.Background(), prep, launch, global)
+}
+
+// RunPreparedCtx is RunPrepared with cooperative cancellation: the BBS
+// schedule checks ctx between block-vector executions and the engine polls it
+// while a vector streams, so a deadline or cancel preempts a running kernel
+// mid-simulation.
+func (m *Machine) RunPreparedCtx(ctx context.Context, prep *Prepared, launch kir.Launch, global []uint32) (*Result, error) {
 	ck := prep.CK
 	k := ck.Kernel
 	nBlocks := len(k.Blocks)
@@ -268,7 +277,7 @@ func (m *Machine) RunPrepared(prep *Prepared, launch kir.Launch, global []uint32
 		if base+n > total {
 			n = total - base
 		}
-		end, err := m.runTile(ck, placements, env, lvc, base, n, now, res)
+		end, err := m.runTile(ctx, ck, placements, env, lvc, base, n, now, res)
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +296,7 @@ func (m *Machine) RunPrepared(prep *Prepared, launch kir.Launch, global []uint32
 }
 
 // runTile drives one tile of threads from the entry block to completion.
-func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Placement,
+func (m *Machine) runTile(ctx context.Context, ck *compile.CompiledKernel, placements []*fabric.Placement,
 	env *engine.DataEnv, lvc *LVC, base, n int, now int64, res *Result) (int64, error) {
 
 	k := ck.Kernel
@@ -380,7 +389,7 @@ func (m *Machine) runTile(ck *compile.CompiledKernel, placements []*fabric.Place
 			lastBlock = b
 		}
 		curBlock = b
-		st, err := m.eng.RunVector(placements[b], threads, now, hooks)
+		st, err := m.eng.RunVectorCtx(ctx, placements[b], threads, now, hooks)
 		if err != nil {
 			return 0, err
 		}

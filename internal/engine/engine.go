@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"vgiw/internal/compile"
@@ -208,10 +209,25 @@ func New(grid *fabric.Grid, opt Options) *Engine {
 	return &Engine{grid: grid, opt: opt}
 }
 
+// cancelCheckStride is how many threads the engine streams between
+// ctx.Err() polls. A poll is two atomic-ish loads, so the stride only needs
+// to be large enough to keep it off the per-token path; 64 threads bound the
+// cancellation latency to well under a millisecond of host time even on the
+// largest graphs.
+const cancelCheckStride = 64
+
 // RunVector streams the given threads through the placement, starting at
 // startCycle (reconfiguration cost is the caller's concern). It returns the
 // execution statistics; the graph's side effects happen through the hooks.
 func (e *Engine) RunVector(p *fabric.Placement, threads []int, startCycle int64, h *Hooks) (*Stats, error) {
+	return e.RunVectorCtx(context.Background(), p, threads, startCycle, h)
+}
+
+// RunVectorCtx is RunVector with cooperative cancellation: the thread loop
+// polls ctx every cancelCheckStride threads and returns ctx.Err() once the
+// context is done, so a caller's deadline or cancel preempts a running
+// vector rather than waiting for it to drain.
+func (e *Engine) RunVectorCtx(ctx context.Context, p *fabric.Placement, threads []int, startCycle int64, h *Hooks) (*Stats, error) {
 	g := p.Graph
 	nNodes := len(g.Nodes)
 	cfg := e.grid.Config()
@@ -269,6 +285,11 @@ func (e *Engine) RunVector(p *fabric.Placement, threads []int, startCycle int64,
 	}
 
 	for j, tid := range threads {
+		if j%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		r := j % p.Replicas
 		inject := e.vcs[r].Admit(e.injNext[r])
 		if inject < e.injNext[r] {

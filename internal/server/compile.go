@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/fabric"
+	"vgiw/internal/kasm"
+)
+
+// CompileReport is the result document of a source job: the compiler
+// pipeline's per-block summary, the JSON twin of kasmc's text output. Source
+// jobs carry no workload, so nothing is simulated.
+type CompileReport struct {
+	Kernel     string        `json:"kernel"`
+	Blocks     int           `json:"blocks"`
+	Instrs     int           `json:"instructions"`
+	Regs       int           `json:"registers"`
+	LiveValues int           `json:"live_values"`
+	Placements []BlockReport `json:"placements"`
+}
+
+// BlockReport summarizes one basic block's dataflow graph and placement.
+type BlockReport struct {
+	Index        int     `json:"index"`
+	Label        string  `json:"label"`
+	Barrier      bool    `json:"barrier,omitempty"`
+	Nodes        int     `json:"nodes"`
+	Replicas     int     `json:"replicas"`
+	CriticalPath int     `json:"critical_path"`
+	AvgHops      float64 `json:"avg_hop_latency"`
+	Terminator   string  `json:"terminator"`
+}
+
+// compileSource runs the compiler pipeline (parse, fabric-fitted compile,
+// per-block place) on kasm source and marshals a CompileReport. The ctx
+// polls sit between blocks — placement of a single block is fast, so that is
+// granularity enough.
+func (s *Server) compileSource(ctx context.Context, src string) ([]byte, error) {
+	k, err := kasm.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := fabric.NewGrid(fabric.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ck, err := compile.CompileFitted(k, grid.Fits)
+	if err != nil {
+		return nil, err
+	}
+	rep := CompileReport{
+		Kernel:     k.Name,
+		Blocks:     len(k.Blocks),
+		Instrs:     k.NumInstrs(),
+		Regs:       k.NumRegs,
+		LiveValues: ck.LV.NumIDs,
+	}
+	for bi, g := range ck.DFGs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		blk := k.Blocks[bi]
+		replicas := fabric.MaxReplicasFor(grid, g)
+		p, err := fabric.Place(grid, g, replicas)
+		if err != nil {
+			return nil, err
+		}
+		rep.Placements = append(rep.Placements, BlockReport{
+			Index:        bi,
+			Label:        blk.Label,
+			Barrier:      blk.Barrier,
+			Nodes:        len(g.Nodes),
+			Replicas:     replicas,
+			CriticalPath: g.CriticalPathLen(),
+			AvgHops:      p.AvgHops,
+			Terminator:   blk.Term.String(),
+		})
+	}
+	return json.Marshal(rep)
+}

@@ -1,0 +1,504 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/kernels"
+)
+
+// newTestServer builds a server + httptest frontend and registers shutdown
+// cleanup (idempotence is handled by ignoring the double-shutdown error).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.RunParallelism == 0 {
+		cfg.RunParallelism = 2
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck // tests that care assert explicitly
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body, query string) (*http.Response, JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeView(t, resp)
+}
+
+func decodeView(t *testing.T, resp *http.Response) JobView {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("bad job response %q: %v", raw, err)
+		}
+	}
+	return v
+}
+
+// waitState polls a job until it reaches the wanted state.
+func waitState(t *testing.T, ts *httptest.Server, id, want string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := decodeView(t, resp)
+		if v.State == want {
+			return v
+		}
+		if terminal(v.State) {
+			t.Fatalf("job %s reached %q (reason %q), want %q", id, v.State, v.Reason, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return JobView{}
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func metricLine(name string, v int) string {
+	return fmt.Sprintf("vgiw_metric{name=%q} %d", name, v)
+}
+
+// TestSingleflightDedup is the exactly-once acceptance test: N concurrent
+// identical submissions share one execution and serve byte-identical result
+// JSON. A slow blocker pins the single worker so the identical jobs are all
+// admitted while their shared execution is still queued.
+func TestSingleflightDedup(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	_, blocker := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":4}`, "")
+	waitState(t, ts, blocker.ID, StateRunning)
+
+	const n = 8
+	var wg sync.WaitGroup
+	views := make([]JobView, n)
+	for i := range views {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, v := postJob(t, ts, `{"kernel":"bfs.kernel1"}`, "?wait=1")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("submission %d: status %d, want 200", i, resp.StatusCode)
+			}
+			views[i] = v
+		}()
+	}
+	wg.Wait()
+	waitState(t, ts, blocker.ID, StateDone)
+
+	shared := 0
+	for i, v := range views {
+		if v.State != StateDone {
+			t.Fatalf("job %d: state %q (reason %q), want done", i, v.State, v.Reason)
+		}
+		if len(v.Result) == 0 {
+			t.Fatalf("job %d: empty result", i)
+		}
+		if !bytes.Equal(v.Result, views[0].Result) {
+			t.Fatalf("job %d result differs from job 0:\n%s\nvs\n%s", i, v.Result, views[0].Result)
+		}
+		if v.Shared {
+			shared++
+		}
+	}
+	if shared != n-1 {
+		t.Errorf("shared jobs = %d, want %d", shared, n-1)
+	}
+
+	metrics := scrapeMetrics(t, ts)
+	// Exactly two executions ran: the blocker and ONE for all n identical jobs.
+	if want := metricLine("vgiwd/runs_executed", 2); !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q:\n%s", want, metrics)
+	}
+	if want := metricLine("vgiwd/jobs_deduped", n-1); !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// TestDeadlineCancelsSimulator submits a job whose deadline is far shorter
+// than its simulation and asserts the job reports cancelled and the worker
+// goroutine is released (Shutdown drains cleanly — under -race this also
+// proves no simulator goroutine leaks past its deadline).
+func TestDeadlineCancelsSimulator(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, v := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":4,"timeout_ms":25}`, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if v.State != StateCancelled {
+		t.Fatalf("state %q (reason %q), want cancelled", v.State, v.Reason)
+	}
+	if v.Reason != "deadline" {
+		t.Errorf("reason %q, want deadline", v.Reason)
+	}
+	if len(v.Result) != 0 {
+		t.Errorf("cancelled job carries a result")
+	}
+
+	// The worker must come free promptly once the simulator observes the
+	// cancelled context: a fast follow-up job completes.
+	_, next := postJob(t, ts, `{"kernel":"bfs.kernel1"}`, "?wait=1")
+	if next.State != StateDone {
+		t.Fatalf("follow-up job state %q, want done", next.State)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after deadline-cancel: %v", err)
+	}
+}
+
+// TestOverloadRejects fills the bounded queue and asserts admission control:
+// 429 with Retry-After, a rejection counter on /metrics, and no effect on
+// the jobs already admitted.
+func TestOverloadRejects(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 7 * time.Second})
+
+	_, running := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":4}`, "")
+	waitState(t, ts, running.ID, StateRunning)
+	resp2, queued := postJob(t, ts, `{"kernel":"bfs.kernel2","scale":8}`, "")
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submission: status %d, want 202", resp2.StatusCode)
+	}
+
+	resp3, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kernel":"bfs.kernel1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body) //nolint:errcheck
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submission: status %d, want 429", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want 7", got)
+	}
+
+	metrics := scrapeMetrics(t, ts)
+	if want := metricLine("vgiwd/jobs_rejected", 1); !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q:\n%s", want, metrics)
+	}
+
+	// The admitted jobs are unaffected: cancel them and drain. The queued
+	// job goes first — it cannot start while the single worker is pinned by
+	// the running one, so both DELETEs land on live jobs.
+	for _, id := range []string{queued.ID, running.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := decodeView(t, resp); v.State != StateCancelled {
+			t.Errorf("job %s after DELETE: state %q, want cancelled", id, v.State)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after cancellations: %v", err)
+	}
+	if !s.Draining() {
+		t.Error("Draining() false after Shutdown")
+	}
+}
+
+// TestGracefulDrain lets queued work finish during Shutdown and verifies
+// post-drain submissions are refused with 503.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	var admitted []JobView
+	for i := 0; i < 3; i++ {
+		_, v := postJob(t, ts, fmt.Sprintf(`{"kernel":"bfs.kernel1","scale":%d}`, i+1), "")
+		admitted = append(admitted, v)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+	for _, v := range admitted {
+		got := s.viewByID(t, v.ID)
+		if got.State != StateDone {
+			t.Errorf("job %s after drain: state %q (reason %q), want done", v.ID, got.State, got.Reason)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kernel":"bfs.kernel1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submission: status %d, want 503", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/readyz"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("post-drain readyz: status %d, want 503", resp.StatusCode)
+		}
+	}
+}
+
+// viewByID fetches a job view straight off the server (the HTTP layer is
+// exercised elsewhere; drain assertions should not depend on the listener).
+func (s *Server) viewByID(t *testing.T, id string) JobView {
+	t.Helper()
+	j, ok := s.Get(id)
+	if !ok {
+		t.Fatalf("job %s evicted", id)
+	}
+	return s.View(j)
+}
+
+// TestForcedDrainPreempts verifies an expired drain deadline force-cancels
+// running simulations instead of hanging.
+func TestForcedDrainPreempts(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	_, v := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":4}`, "")
+	waitState(t, ts, v.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("forced drain returned nil, want deadline error")
+	}
+	// Workers still exited: Shutdown only returns once wg.Wait completes,
+	// and the preempted simulation must have yielded quickly.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("forced drain took %v", elapsed)
+	}
+	if got := s.viewByID(t, v.ID); got.State != StateCancelled {
+		t.Errorf("job after forced drain: state %q, want cancelled", got.State)
+	}
+}
+
+// TestKernelResultCrosschecksHarness proves the daemon's kernel-job result
+// is the same document vgiw-experiments produces for the same spec — every
+// simulated field byte-compatible, with only the host-timing telemetry
+// (elapsed/stage milliseconds, inherently wall-clock) allowed to differ.
+func TestKernelResultCrosschecksHarness(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, v := postJob(t, ts, `{"kernel":"bfs.kernel2","lvc_kb":16,"mem":"writethrough"}`, "?wait=1")
+	if resp.StatusCode != http.StatusOK || v.State != StateDone {
+		t.Fatalf("status %d state %q (reason %q), want 200/done", resp.StatusCode, v.State, v.Reason)
+	}
+
+	spec := bench.JobSpec{Kernel: "bfs.kernel2", LVCKB: 16, Mem: "writethrough"}
+	opt, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = 2
+	ks, _ := kernels.ByName(spec.Kernel)
+	kr, err := bench.RunOne(ks, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bench.BuildJSON([]*bench.KernelRun{kr}, opt.Scale)
+
+	var got bench.JSONReport
+	if err := json.Unmarshal(v.Result, &got); err != nil {
+		t.Fatalf("daemon result is not a JSONReport: %v\n%s", err, v.Result)
+	}
+	stripHostTimings(&got)
+	stripHostTimings(&want)
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("daemon result diverges from harness run:\ndaemon: %s\nharness: %s", gb, wb)
+	}
+}
+
+// stripHostTimings zeroes the wall-clock telemetry fields that legitimately
+// differ between two executions of the same simulation.
+func stripHostTimings(r *bench.JSONReport) {
+	for i := range r.Runs {
+		r.Runs[i].ElapsedMS = 0
+		r.Runs[i].InstanceMS = 0
+		r.Runs[i].CompileMS = 0
+		r.Runs[i].PlaceMS = 0
+		r.Runs[i].SimulateMS = 0
+	}
+	r.WallClockMS = 0
+	r.StageInstanceMS = 0
+	r.StageCompileMS = 0
+	r.StagePlaceMS = 0
+	r.StageSimulateMS = 0
+}
+
+// TestTraceEndpoint runs a traced job and fetches its Chrome trace.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, v := postJob(t, ts, `{"kernel":"bfs.kernel1","trace":true,"trace_filter":"vgiw,cvt"}`, "?wait=1")
+	if resp.StatusCode != http.StatusOK || v.State != StateDone {
+		t.Fatalf("status %d state %q, want 200/done", resp.StatusCode, v.State)
+	}
+
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", tr.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+
+	// An untraced job must refuse the trace endpoint.
+	_, plain := postJob(t, ts, `{"kernel":"bfs.kernel1"}`, "?wait=1")
+	tr2, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2.Body.Close()
+	if tr2.StatusCode != http.StatusConflict {
+		t.Errorf("untraced job trace fetch: status %d, want 409", tr2.StatusCode)
+	}
+}
+
+// TestSourceJob compiles the example kasm kernel through the API.
+func TestSourceJob(t *testing.T) {
+	src, err := os.ReadFile("../../examples/kasm/kernel.kasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	body, _ := json.Marshal(map[string]any{"source": string(src)})
+	resp, v := postJob(t, ts, string(body), "?wait=1")
+	if resp.StatusCode != http.StatusOK || v.State != StateDone {
+		t.Fatalf("status %d state %q (reason %q), want 200/done", resp.StatusCode, v.State, v.Reason)
+	}
+	var rep CompileReport
+	if err := json.Unmarshal(v.Result, &rep); err != nil {
+		t.Fatalf("source job result: %v\n%s", err, v.Result)
+	}
+	if rep.Kernel != "absdiff" || rep.Blocks != 3 || len(rep.Placements) != 3 {
+		t.Errorf("compile report = %+v, want absdiff with 3 placed blocks", rep)
+	}
+
+	// Parse errors surface as a failed job, not a hung one.
+	resp2, v2 := postJob(t, ts, `{"source":"kernel broken\n@0 entry:\n  r0 = bogus\n"}`, "?wait=1")
+	if resp2.StatusCode != http.StatusOK || v2.State != StateFailed {
+		t.Fatalf("bad source: status %d state %q, want failed", resp2.StatusCode, v2.State)
+	}
+}
+
+// TestBadSpecsRejected covers the 400 path.
+func TestBadSpecsRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	for _, body := range []string{
+		`{`,
+		`{}`,
+		`{"kernel":"no.such.kernel"}`,
+		`{"kernel":"bfs.kernel1","unknown_field":1}`,
+		`{"kernel":"bfs.kernel1","suite":true}`,
+		`{"kernel":"bfs.kernel1","trace_filter":"vgiw"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestListAndNotFound covers GET /v1/jobs and 404s.
+func TestListAndNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, v := postJob(t, ts, `{"kernel":"bfs.kernel1"}`, "?wait=1")
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
+		t.Fatalf("list = %+v, want the one submitted job", list.Jobs)
+	}
+	if len(list.Jobs[0].Result) != 0 {
+		t.Error("list view includes result payloads")
+	}
+
+	for _, path := range []string{"/v1/jobs/j999999", "/v1/jobs/j999999/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

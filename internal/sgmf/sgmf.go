@@ -12,6 +12,7 @@
 package sgmf
 
 import (
+	"context"
 	"fmt"
 
 	"vgiw/internal/compile"
@@ -146,6 +147,13 @@ func (m *Machine) Run(k *kir.Kernel, launch kir.Launch, global []uint32) (*Resul
 // read-only, so a cached Mapped can be executed concurrently by independent
 // machines.
 func (m *Machine) RunMapped(mapped *Mapped, launch kir.Launch, global []uint32) (*Result, error) {
+	return m.RunMappedCtx(context.Background(), mapped, launch, global)
+}
+
+// RunMappedCtx is RunMapped with cooperative cancellation: the engine polls
+// ctx while the thread vector streams through the whole-kernel graph, so a
+// deadline or cancel preempts a running kernel.
+func (m *Machine) RunMappedCtx(ctx context.Context, mapped *Mapped, launch kir.Launch, global []uint32) (*Result, error) {
 	k, p := mapped.Kernel, mapped.Placement
 	sys := mem.NewSystem(m.cfg.Mem)
 	env, err := engine.NewDataEnv(k, launch, global, sys)
@@ -177,7 +185,7 @@ func (m *Machine) RunMapped(mapped *Mapped, launch kir.Launch, global []uint32) 
 		sink.Emit(trace.Event{Name: "configure", Cat: trace.CatSGMF, Phase: trace.PhaseSpan,
 			Track: tracks.run, Ts: 0, Dur: start, K1: "nodes", V1: int64(len(p.Graph.Nodes))})
 	}
-	st, err := m.eng.RunVector(p, threads, start, hooks)
+	st, err := m.eng.RunVectorCtx(ctx, p, threads, start, hooks)
 	if err != nil {
 		return nil, err
 	}

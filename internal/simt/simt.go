@@ -9,6 +9,7 @@
 package simt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -169,6 +170,13 @@ func NewMachine(cfg Config) *Machine { return &Machine{cfg: cfg} }
 
 // Run executes a compiled kernel launch, mutating global memory in place.
 func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []uint32) (*Result, error) {
+	return m.RunCtx(context.Background(), ck, launch, global)
+}
+
+// RunCtx is Run with cooperative cancellation: the warp-scheduler loop polls
+// ctx every ctxCheckCycles scheduling rounds and returns ctx.Err() once the
+// context is done, so a deadline or cancel preempts a running kernel.
+func (m *Machine) RunCtx(ctx context.Context, ck *compile.CompiledKernel, launch kir.Launch, global []uint32) (*Result, error) {
 	k := ck.Kernel
 	if err := launch.Validate(); err != nil {
 		return nil, err
@@ -179,6 +187,7 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 	}
 	r := &run{
 		m:      m,
+		ctx:    ctx,
 		k:      k,
 		ipdom:  ck.IPDom,
 		launch: launch,
@@ -213,6 +222,7 @@ func (m *Machine) Run(ck *compile.CompiledKernel, launch kir.Launch, global []ui
 
 type run struct {
 	m      *Machine
+	ctx    context.Context
 	k      *kir.Kernel
 	ipdom  []int
 	launch kir.Launch
@@ -306,7 +316,19 @@ func (r *run) execute() error {
 	r.liveCTA = make(map[int]int)
 	r.barriers = make(map[int]int)
 
+	// Cooperative cancellation: one ctx poll per ctxCheckCycles scheduling
+	// rounds keeps the per-cycle cost negligible while bounding cancellation
+	// latency to well under a millisecond of host time.
+	const ctxCheckCycles = 4096
+	checkIn := ctxCheckCycles
+
 	for {
+		if checkIn--; checkIn <= 0 {
+			checkIn = ctxCheckCycles
+			if err := r.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Admit resident CTAs up to the occupancy limits; compact retired
 		// warps away once they dominate the list.
 		for r.nextCTA < r.launch.CTAs() &&

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), the wire format `GET /metrics` scrapers expect.
+//
+// Registry names ("bfs.kernel1/vgiw.cycles") contain characters a Prometheus
+// metric name may not, so the registry is exposed as two fixed metric
+// families keyed by a `name` label:
+//
+//	vgiw_metric{name="bfs.kernel1/vgiw.cycles"} 12345
+//	vgiw_hist_bucket{name="vgiwd/run_ms",le="3"} 7
+//	vgiw_hist_sum{name="vgiwd/run_ms"} 42
+//	vgiw_hist_count{name="vgiwd/run_ms"} 9
+//
+// Counters become `vgiw_metric` samples (untyped: the registry does not
+// distinguish monotonic counters from gauges). Histograms become native
+// Prometheus histograms: the power-of-two buckets map to cumulative buckets
+// with upper bounds 0, 1, 3, 7, ..., 2^i-1 (bucket i of Hist holds samples
+// with bits.Len64(v) == i), trailing empty buckets elided, `le="+Inf"`
+// always present. Output is sorted by name, so it is byte-deterministic for
+// a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	counters, hists := r.snapshot()
+
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		if _, err := bw.WriteString("# HELP vgiw_metric Flat " + MetricsSchema + " registry counters and gauges.\n# TYPE vgiw_metric untyped\n"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			writeSample(bw, "vgiw_metric", n, "", strconv.FormatUint(counters[n], 10))
+		}
+	}
+
+	names = names[:0]
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		if _, err := bw.WriteString("# HELP vgiw_hist Power-of-two-bucket " + MetricsSchema + " registry histograms.\n# TYPE vgiw_hist histogram\n"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			h := hists[n]
+			// Highest non-empty bucket bounds the emitted range; the +Inf
+			// bucket carries the total count either way.
+			top := -1
+			for i, c := range h.Buckets {
+				if c != 0 {
+					top = i
+				}
+			}
+			var cum uint64
+			for i := 0; i <= top; i++ {
+				cum += h.Buckets[i]
+				// Bucket i holds samples with bits.Len64(v) == i, so its
+				// inclusive upper bound is 2^i - 1.
+				le := strconv.FormatUint(1<<uint(i)-1, 10)
+				writeSample(bw, "vgiw_hist_bucket", n, le, strconv.FormatUint(cum, 10))
+			}
+			writeSample(bw, "vgiw_hist_bucket", n, "+Inf", strconv.FormatUint(h.Count, 10))
+			writeSample(bw, "vgiw_hist_sum", n, "", strconv.FormatInt(h.Sum, 10))
+			writeSample(bw, "vgiw_hist_count", n, "", strconv.FormatUint(h.Count, 10))
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshot copies the registry state out from under the mutex so rendering
+// does not hold it.
+func (r *Registry) snapshot() (map[string]uint64, map[string]Hist) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]uint64, len(r.counters))
+	for n, v := range r.counters {
+		counters[n] = v
+	}
+	hists := make(map[string]Hist, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = *h
+	}
+	return counters, hists
+}
+
+// writeSample emits one exposition line: family{name="...",le="..."} value.
+func writeSample(bw *bufio.Writer, family, name, le, value string) {
+	bw.WriteString(family)
+	bw.WriteString(`{name="`)
+	bw.WriteString(escapeLabel(name))
+	if le != "" {
+		bw.WriteString(`",le="`)
+		bw.WriteString(le)
+	}
+	bw.WriteString(`"} `)
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

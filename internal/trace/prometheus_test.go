@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updatePromGolden = flag.Bool("update-prom-golden", false, "rewrite testdata/prometheus_golden.txt from the fixture registry")
+
+// fixtureRegistry builds a deterministic registry exercising counters,
+// label-escaping, an empty histogram, and multi-bucket histograms.
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Set("bfs.kernel1/vgiw.cycles", 8930)
+	r.Add("vgiwd/jobs_admitted", 12)
+	r.Set("vgiwd/queue_depth", 3)
+	r.Set(`odd"name\with.escapes`, 1)
+	r.Observe("vgiwd/run_ms", 0)
+	r.Observe("vgiwd/run_ms", 1)
+	r.Observe("vgiwd/run_ms", 2)
+	r.Observe("vgiwd/run_ms", 5)
+	r.Observe("vgiwd/run_ms", 900)
+	r.Observe("bfs.kernel1/vgiw.block_threads", 512)
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition output byte-for-byte, the
+// same way the vgiw-metrics/v1 snapshot schema is pinned.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus_golden.txt")
+	if *updatePromGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -run TestWritePrometheusGolden -update-prom-golden` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus exposition changed (rerun with -update-prom-golden if intended).\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusFormat validates structural invariants scrapers rely on:
+// line grammar, cumulative buckets, a +Inf bucket per histogram, and
+// _count == +Inf == Hist.Count.
+func TestWritePrometheusFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sampleRE := regexp.MustCompile(`^(vgiw_metric|vgiw_hist_bucket|vgiw_hist_sum|vgiw_hist_count)\{name="(?:[^"\\]|\\.)*"(?:,le="[^"]+")?\} -?\d+$`)
+	var lastBucket, infBucket, histCount int64 = -1, -1, -1
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRE.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		switch {
+		case strings.HasPrefix(line, "vgiw_hist_bucket") && strings.Contains(line, `le="+Inf"`):
+			infBucket = v
+			if lastBucket >= 0 && v < lastBucket {
+				t.Fatalf("+Inf bucket %d below last finite bucket %d: %q", v, lastBucket, line)
+			}
+			lastBucket = -1
+		case strings.HasPrefix(line, "vgiw_hist_bucket"):
+			if v < lastBucket {
+				t.Fatalf("buckets not cumulative at %q", line)
+			}
+			lastBucket = v
+		case strings.HasPrefix(line, "vgiw_hist_count"):
+			histCount = v
+			if infBucket != v {
+				t.Fatalf("hist_count %d != +Inf bucket %d", v, infBucket)
+			}
+		}
+	}
+	if infBucket < 0 || histCount < 0 {
+		t.Fatal("no histogram emitted")
+	}
+}
+
+// TestWritePrometheusNil covers the nil-registry contract shared with the
+// rest of the Registry API.
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}

@@ -1,0 +1,48 @@
+// Package version derives a build identifier for the vgiw binaries from the
+// information the Go toolchain embeds, so every binary answers -version
+// without a linker-flag build ritual.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders "vgiw <module-version> (<vcs-rev>[, dirty]) <go-version>".
+// Fields missing from the build info (e.g. a plain `go build` outside a VCS
+// checkout) are omitted rather than faked.
+func String() string {
+	var b strings.Builder
+	b.WriteString("vgiw")
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprintf(&b, " (no build info) %s", runtime.Version())
+		return b.String()
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.WriteString(" " + v)
+	} else {
+		b.WriteString(" devel")
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = ", dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s%s)", rev, dirty)
+	}
+	b.WriteString(" " + info.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,20 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringShape(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "vgiw ") {
+		t.Fatalf("version %q does not start with the product name", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("version %q omits the Go toolchain version", s)
+	}
+	if strings.ContainsAny(s, "\n\r") {
+		t.Errorf("version %q is not a single line", s)
+	}
+}
