@@ -1,12 +1,32 @@
 GO ?= go
 
-.PHONY: check build test vet race bench trace-check serve-check fmt
+.PHONY: check build test vet race bench trace-check serve-check lint verify-check fuzz-smoke fmt
 
-# check is the full pre-merge gate: static checks, the test suite under the
-# race detector, one iteration of each perf-guard benchmark (allocs/op
-# regressions show up even at -benchtime=1x), the trace/metrics schema gate,
-# and the daemon smoke test.
-check: vet build race bench trace-check serve-check
+# check is the full pre-merge gate: static checks (go vet plus the
+# repo-specific vgiwlint), the test suite under the race detector, the
+# verifier gates (invalid-kernel corpus, checked pipelines, a short fuzz
+# smoke), one iteration of each perf-guard benchmark (allocs/op regressions
+# show up even at -benchtime=1x), the trace/metrics schema gate, and the
+# daemon smoke test.
+check: vet lint build race verify-check fuzz-smoke bench trace-check serve-check
+
+# lint runs the repo-specific static checks: hotpath allocation bans,
+# trace.Sink nil-receiver guards, strided context polling (cmd/vgiwlint).
+lint:
+	$(GO) run ./cmd/vgiwlint -root .
+
+# verify-check exercises the kernel-IR verifier: the invalid-kernel corpus
+# must produce its exact diagnostics, every registry kernel must compile
+# cleanly through the Checked pipelines, and the mutation tests must catch
+# deliberately broken passes.
+verify-check:
+	$(GO) test ./internal/verify/ ./internal/fabric/ -run 'Test'
+	$(GO) test ./internal/compile/ -run 'TestBrokenPassCaught|TestCheckedCompileCatchesMutation|TestVerifyGraphCatchesCorruption|TestRegistryPipelinesChecked|TestCheckSelectChain'
+
+# fuzz-smoke runs the parser/verifier/interp fuzzer briefly — enough to
+# catch gross regressions without holding up the gate.
+fuzz-smoke:
+	$(GO) test ./internal/verify/ -run '^$$' -fuzz FuzzKasmVerify -fuzztime 5s
 
 build:
 	$(GO) build ./...

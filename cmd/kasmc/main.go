@@ -8,6 +8,7 @@
 //	kasmc kernel.kasm            # compile and summarize
 //	kasmc -dfg kernel.kasm       # also dump every block's dataflow graph
 //	kasmc -print kernel.kasm     # pretty-print the parsed kernel and exit
+//	kasmc -verify kernel.kasm    # run the IR verifier after every pass
 package main
 
 import (
@@ -34,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		dumpDFG   = fs.Bool("dfg", false, "dump each block's dataflow graph")
 		printOnly = fs.Bool("print", false, "pretty-print the parsed kernel and exit")
+		doVerify  = fs.Bool("verify", false, "run the IR verifier on the input and after every compiler pass")
 		showVer   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,9 +66,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "%v", err)
 	}
-	ck, err := compile.CompileFitted(k, grid.Fits)
+	var copts []compile.Option
+	if *doVerify {
+		copts = append(copts, compile.Checked())
+	}
+	ck, err := compile.CompileFitted(k, grid.Fits, copts...)
 	if err != nil {
-		return fail(stderr, "compile: %v", err)
+		// Compile errors arrive already prefixed "compile: <pass>: ...".
+		return fail(stderr, "%v", err)
 	}
 
 	fmt.Fprintf(stdout, "kernel %s: %d blocks, %d instructions, %d registers, %d live values\n",
@@ -77,6 +84,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		p, err := fabric.Place(grid, g, replicas)
 		if err != nil {
 			return fail(stderr, "place block %d: %v", bi, err)
+		}
+		if *doVerify {
+			if err := fabric.VerifyPlaced("place", grid, p, ck.LV.NumIDs); err != nil {
+				return fail(stderr, "%v", err)
+			}
 		}
 		barrier := ""
 		if blk.Barrier {

@@ -63,6 +63,37 @@ func TestParseErrorExitsNonZero(t *testing.T) {
 	}
 }
 
+func TestVerifierErrorExitsNonZero(t *testing.T) {
+	// Parses fine but uses r1 before any definition — only the -verify
+	// pipeline rejects it, with a diagnostic naming the pass and the
+	// offending source line.
+	src := "kernel broken params=1 shared=0\n# r1 is never written\n@0 entry:\n  r0 = add r1 r1\n  ret\n"
+	bad := filepath.Join(t.TempDir(), "broken.kasm")
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-verify", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("verifier failure = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	got := stderr.String()
+	if !strings.HasPrefix(got, "kasmc: ") {
+		t.Errorf("error not reported with the kasmc prefix: %q", got)
+	}
+	for _, want := range []string{"verify [input]", "used before definition", "line 4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stderr %q does not mention %q", got, want)
+		}
+	}
+	// Without -verify the same file compiles (the use is treated as an
+	// uninitialized live-in): the flag is what adds the gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{bad}, &stdout, &stderr); code != 0 {
+		t.Fatalf("unverified compile = %d, stderr: %s", code, stderr.String())
+	}
+}
+
 func TestMissingFileExitsNonZero(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"/no/such/file.kasm"}, &stdout, &stderr); code == 0 {

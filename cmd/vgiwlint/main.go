@@ -1,0 +1,76 @@
+// Command vgiwlint runs the repo-specific static checks (internal/lint)
+// over the module: hotpath allocation bans, trace.Sink nil-receiver guards,
+// and strided context polling. Exit status 1 when findings exist, 2 on
+// usage or analysis errors.
+//
+// Usage:
+//
+//	vgiwlint [-root dir] [packages...]
+//
+// With no package arguments the whole module under -root is linted.
+// Package arguments are directories relative to the module root
+// (e.g. internal/engine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vgiw/internal/lint"
+)
+
+const modPath = "vgiw"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("vgiwlint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	root := fl.String("root", ".", "module root directory")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	var findings []lint.Finding
+	var err error
+	if fl.NArg() == 0 {
+		findings, err = lint.Walk(*root, modPath)
+	} else {
+		for _, rel := range fl.Args() {
+			rel = filepath.ToSlash(filepath.Clean(rel))
+			pkgPath := modPath
+			if rel != "." {
+				pkgPath = modPath + "/" + rel
+			}
+			fs, derr := lint.Dir(filepath.Join(*root, rel), pkgPath)
+			if derr != nil {
+				err = derr
+				break
+			}
+			findings = append(findings, fs...)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		// Print positions relative to the root so output is stable across
+		// checkouts.
+		pos := f.Pos
+		if rel, rerr := filepath.Rel(*root, pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s: %s: %s\n", pos, f.Check, f.Msg)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

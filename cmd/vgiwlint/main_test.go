@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFixtureFails pins the CLI contract: a package with seeded violations
+// exits 1 and prints one finding per line; analysis errors exit 2.
+func TestFixtureFails(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-root", "../../internal/lint/testdata/src", "fixture"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hotpath") || !strings.Contains(out.String(), "ctxpoll") {
+		t.Errorf("findings missing from output:\n%s", out.String())
+	}
+}
+
+func TestMissingDirExits2(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-root", ".", "no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "vgiwlint: ") {
+		t.Errorf("stderr %q lacks the vgiwlint prefix", errb.String())
+	}
+}

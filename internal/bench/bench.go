@@ -105,6 +105,9 @@ func (o Options) workers(n int) int {
 // options' worker pool. fn must be safe to call concurrently for distinct i.
 // Once ctx is done workers stop claiming new items (items already started
 // observe the cancellation themselves, through the simulators' own polls).
+// Each item is a whole kernel simulation, so polling per item is coarse.
+//
+//vgiw:coarsepoll
 func (o Options) forEach(ctx context.Context, n int, fn func(i int)) {
 	w := o.workers(n)
 	if w == 1 {

@@ -198,15 +198,17 @@ type (
 		fabric         fabric.Config
 		replicationOff bool
 		split          bool
+		checked        bool
 	}
 	simtKey struct {
 		name  string
 		scale int
 	}
 	sgmfKey struct {
-		name   string
-		scale  int
-		fabric fabric.Config
+		name    string
+		scale   int
+		fabric  fabric.Config
+		checked bool
 	}
 )
 
@@ -227,7 +229,7 @@ func (c *ArtifactCache) workload(spec kernels.Spec, scale int) (*kernels.Workloa
 // only the config fields placement depends on — fabric shape and split
 // options — so sweeps over LVC/CVT/memory parameters share one artifact.
 func (c *ArtifactCache) vgiwPrepared(w *kernels.Workload, cfg core.Config) (*core.Prepared, StageTimes, error) {
-	key := vgiwKey{w.Spec.Name, w.Scale, cfg.Fabric, cfg.ReplicationOff, cfg.SplitForThroughput}
+	key := vgiwKey{w.Spec.Name, w.Scale, cfg.Fabric, cfg.ReplicationOff, cfg.SplitForThroughput, cfg.Checked}
 	v, st, err := c.get(key, TierVGIW, func() (any, StageTimes, error) {
 		var st StageTimes
 		m, err := core.NewMachine(cfg)
@@ -267,7 +269,7 @@ func (c *ArtifactCache) simtCompiled(w *kernels.Workload) (*compile.CompiledKern
 
 // sgmfMapped resolves SGMF's compile/place artifact.
 func (c *ArtifactCache) sgmfMapped(w *kernels.Workload, cfg sgmf.Config) (*sgmf.Mapped, StageTimes, error) {
-	v, st, err := c.get(sgmfKey{w.Spec.Name, w.Scale, cfg.Fabric}, TierSGMF, func() (any, StageTimes, error) {
+	v, st, err := c.get(sgmfKey{w.Spec.Name, w.Scale, cfg.Fabric, cfg.Checked}, TierSGMF, func() (any, StageTimes, error) {
 		var st StageTimes
 		m, err := sgmf.NewMachine(cfg)
 		if err != nil {

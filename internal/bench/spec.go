@@ -52,6 +52,11 @@ type JobSpec struct {
 	// TimeoutMS caps the job's execution time in milliseconds (0 = the
 	// server's default deadline).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Verify runs the kernel-IR verifier after every compiler pass and the
+	// placed-graph checker after placement (internal/verify). It changes
+	// timings, never results, but is part of the content key: a verified
+	// artifact attests more than an unverified one.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // Normalize validates the spec and fills defaults in place, so that equal
@@ -123,6 +128,8 @@ func (s *JobSpec) Options() (Options, error) {
 		opt.VGIW.Mem.L1.Policy = mem.WriteThrough
 	}
 	opt.VGIW.ReplicationOff = s.ReplicationOff
+	opt.VGIW.Checked = s.Verify
+	opt.SGMF.Checked = s.Verify
 	return opt, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vgiw/internal/kir"
+	"vgiw/internal/verify"
 )
 
 // NodeKind discriminates dataflow-graph nodes. Besides the kernel's own
@@ -374,21 +375,43 @@ type CompiledKernel struct {
 }
 
 // Compile schedules the kernel's blocks, allocates live values, and builds
-// every block's dataflow graph.
-func Compile(k *kir.Kernel) (*CompiledKernel, error) {
+// every block's dataflow graph. Under Checked, the verifier runs after each
+// pass — rematerialization, scheduling, live-value allocation, graph
+// construction — and the returned error names the pass that broke the kernel.
+func Compile(k *kir.Kernel, opts ...Option) (*CompiledKernel, error) {
+	o := buildOptions(opts)
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
+	if err := o.checkKernel("input", k, verify.Source); err != nil {
+		return nil, err
+	}
 	Rematerialize(k)
+	if err := o.checkKernel("remat", k, verify.Source); err != nil {
+		return nil, err
+	}
 	if _, err := ScheduleBlocks(k); err != nil {
 		return nil, err
 	}
+	if err := o.checkKernel("schedule", k, verify.Compiled); err != nil {
+		return nil, err
+	}
 	lv := AllocateLiveValues(k)
+	if o.checked {
+		if err := verify.Join(VerifyLiveValues("liveness", k, lv)); err != nil {
+			return nil, fmt.Errorf("compile: liveness: %w", err)
+		}
+	}
 	ck := &CompiledKernel{Kernel: k, LV: lv, IPDom: ImmPostDoms(k)}
 	for bi := range k.Blocks {
 		g, err := BuildBlockDFG(k, lv, bi)
 		if err != nil {
 			return nil, err
+		}
+		if o.checked {
+			if err := verify.Join(VerifyGraph("dfg", g, lv.NumIDs)); err != nil {
+				return nil, fmt.Errorf("compile: dfg: %w", err)
+			}
 		}
 		ck.DFGs = append(ck.DFGs, g)
 	}

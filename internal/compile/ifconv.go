@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vgiw/internal/kir"
+	"vgiw/internal/verify"
 )
 
 // IfConvert flattens an acyclic kernel CFG into a single dataflow graph for
@@ -17,7 +18,8 @@ import (
 // express data-dependent iteration, which is the limitation VGIW removes.
 // Callers decide whether a kernel is SGMF-eligible by whether IfConvert
 // succeeds and whether the resulting graph fits the fabric.
-func IfConvert(k *kir.Kernel) (*BlockDFG, error) {
+func IfConvert(k *kir.Kernel, opts ...Option) (*BlockDFG, error) {
+	o := buildOptions(opts)
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,11 +134,13 @@ func IfConvert(k *kir.Kernel) (*BlockDFG, error) {
 					continue
 				}
 				sel := -1
+				var provided []predVal // edges providing r, in merge order
 				for _, ic := range inc {
 					v, ok := ic.st[r]
 					if !ok {
 						continue
 					}
+					provided = append(provided, predVal{ic.pred, v})
 					switch {
 					case sel == -1:
 						sel = v // base value (fallback path)
@@ -147,6 +151,11 @@ func IfConvert(k *kir.Kernel) (*BlockDFG, error) {
 					}
 				}
 				st[r] = sel
+				if o.checked {
+					if err := verify.Join(checkSelectChain(g, k.Name, bi, r, provided, sel)); err != nil {
+						return nil, fmt.Errorf("compile: ifconv: %w", err)
+					}
+				}
 			}
 		}
 
@@ -232,5 +241,65 @@ func IfConvert(k *kir.Kernel) (*BlockDFG, error) {
 	g.computeOut()
 	g.insertSplits()
 	g.normalize()
+	if o.checked {
+		// numLVs 0: the flattened SGMF graph must not contain LV nodes —
+		// all values travel on fabric channels.
+		if err := verify.Join(VerifyGraph("ifconv", g, 0)); err != nil {
+			return nil, fmt.Errorf("compile: ifconv: %w", err)
+		}
+	}
 	return g, nil
+}
+
+// predVal is one incoming (edge predicate, value node) pair at a merge.
+type predVal struct{ pred, val int }
+
+// checkSelectChain verifies mask-completeness of one merged register: the
+// select chain the merge built for r must account for every incoming edge
+// that provides r. The chain's fallback must be the first providing edge's
+// value (or the value of the last unconditional edge, which subsumes all
+// earlier ones), and each later conditional edge must contribute exactly one
+// select level keyed by that edge's predicate, outermost last. An edge
+// missing from the chain would make threads on that path read another
+// path's value — exactly the silent wrong-result bug predication invites.
+func checkSelectChain(g *BlockDFG, kernel string, bi int, r kir.Reg, inc []predVal, final int) []verify.Diagnostic {
+	c := diagList{pass: "ifconv", kernel: kernel, block: bi}
+	// The fallback is the first providing edge, unless an unconditional
+	// edge appears later: its value overwrites everything before it.
+	base := 0
+	uncond := 0
+	for i, pv := range inc {
+		if pv.pred == -1 {
+			base = i
+			uncond++
+		}
+	}
+	if uncond > 1 {
+		c.addf(bi, "merge of r%d has %d unconditional incoming edges, at most 1 possible", r, uncond)
+		return c.ds
+	}
+	wrapped := inc[base+1:]
+
+	// Walk the chain from the outside in. Synthesized selects carry no
+	// destination register; a kernel-level select instruction does, so the
+	// walk cannot descend into real instruction nodes.
+	node := final
+	for i := len(wrapped) - 1; i >= 0; i-- {
+		n := g.Nodes[node]
+		if n.Kind != NodeOp || n.Instr.Op != kir.OpSelect || n.Instr.Dst != kir.NoReg {
+			c.addf(bi, "merge of r%d: select chain has %d levels, %d incoming edges unaccounted for",
+				r, len(wrapped)-1-i, i+1)
+			return c.ds
+		}
+		if n.In[0] != wrapped[i].pred || n.In[1] != wrapped[i].val {
+			c.addf(bi, "merge of r%d: select level %d keys (pred %d, value %d), want edge (pred %d, value %d)",
+				r, i, n.In[0], n.In[1], wrapped[i].pred, wrapped[i].val)
+			return c.ds
+		}
+		node = n.In[2]
+	}
+	if node != inc[base].val {
+		c.addf(bi, "merge of r%d: chain fallback is node %d, want node %d", r, node, inc[base].val)
+	}
+	return c.ds
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vgiw/internal/kir"
+	"vgiw/internal/verify"
 )
 
 // Dominators computes the immediate dominator of every reachable block
@@ -301,7 +302,8 @@ func initialValue(k *kir.Kernel, l Loop, ind kir.Reg) (int32, bool) {
 // loop). This is what lets fixed-trip kernels — e.g. kmeans' feature loop —
 // flatten into acyclic CFGs that the SGMF baseline can map. The kernel is
 // modified in place; returns how many loops were unrolled.
-func UnrollLoops(k *kir.Kernel, maxTrips, maxInstrs int) (int, error) {
+func UnrollLoops(k *kir.Kernel, maxTrips, maxInstrs int, opts ...Option) (int, error) {
+	o := buildOptions(opts)
 	unrolled := 0
 	for rounds := 0; rounds < 8; rounds++ {
 		if _, err := ScheduleBlocks(k); err != nil {
@@ -328,6 +330,9 @@ func UnrollLoops(k *kir.Kernel, maxTrips, maxInstrs int) (int, error) {
 			}
 			unrollOne(k, l, trips)
 			unrolled++
+			if err := o.checkKernel("unroll", k, verify.Source); err != nil {
+				return unrolled, err
+			}
 			done = false
 			break // CFG changed; re-analyze
 		}

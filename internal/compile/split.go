@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vgiw/internal/kir"
+	"vgiw/internal/verify"
 )
 
 // CompileFitted compiles the kernel, splitting any basic block whose
@@ -15,10 +16,11 @@ import (
 //
 // The split point starts at the instruction midpoint and the pass iterates
 // until every block fits or no further split is possible.
-func CompileFitted(k *kir.Kernel, fits func(*BlockDFG) bool) (*CompiledKernel, error) {
+func CompileFitted(k *kir.Kernel, fits func(*BlockDFG) bool, opts ...Option) (*CompiledKernel, error) {
+	o := buildOptions(opts)
 	const maxRounds = 256
 	for round := 0; ; round++ {
-		ck, err := Compile(k)
+		ck, err := Compile(k, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -36,6 +38,9 @@ func CompileFitted(k *kir.Kernel, fits func(*BlockDFG) bool) (*CompiledKernel, e
 			return nil, fmt.Errorf("compile: kernel %s still has oversized blocks after %d splits", k.Name, maxRounds)
 		}
 		if err := splitBlock(k, oversized); err != nil {
+			return nil, err
+		}
+		if err := o.checkKernel("split", k, verify.Source); err != nil {
 			return nil, err
 		}
 	}
@@ -94,9 +99,9 @@ func splitBlock(k *kir.Kernel, bi int) error {
 // pass greedily accepts any split that lowers the summed per-thread cost,
 // which automatically accounts for the live-value traffic a split adds (the
 // new LVU nodes lower the halves' replication).
-func OptimizeSplits(k *kir.Kernel, replicasFor func(*BlockDFG) int, maxReplicas int) (*CompiledKernel, error) {
+func OptimizeSplits(k *kir.Kernel, replicasFor func(*BlockDFG) int, maxReplicas int, opts ...Option) (*CompiledKernel, error) {
 	fits := func(g *BlockDFG) bool { return replicasFor(g) > 0 }
-	ck, err := CompileFitted(k, fits)
+	ck, err := CompileFitted(k, fits, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +139,7 @@ func OptimizeSplits(k *kir.Kernel, replicasFor func(*BlockDFG) int, maxReplicas 
 			if err := splitBlock(trial, bi); err != nil {
 				continue
 			}
-			ckTrial, err := CompileFitted(trial, fits)
+			ckTrial, err := CompileFitted(trial, fits, opts...)
 			if err != nil {
 				continue
 			}

@@ -64,10 +64,12 @@ func buildLoopSum() *kir.Kernel {
 	return b.MustBuild()
 }
 
-// runVGIW compiles and runs a kernel on a default machine.
+// runVGIW compiles and runs a kernel on a default machine. Tests always run
+// with the verifier on, so every pass and placement here is checked.
 func runVGIW(t testing.TB, build func() *kir.Kernel, launch kir.Launch, global []uint32, cfg Config) (*Result, []uint32) {
 	t.Helper()
-	ck, err := compile.Compile(build())
+	cfg.Checked = true
+	ck, err := compile.Compile(build(), compile.Checked())
 	if err != nil {
 		t.Fatal(err)
 	}

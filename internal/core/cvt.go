@@ -49,6 +49,8 @@ func (c *CVT) SetAll(block, n int) {
 // touched word. The BBS receives <base, bitmap> batch packets from the
 // terminator CVUs; threads completing out of order still coalesce into the
 // same word, so the write count tracks touched words, not threads.
+//
+//vgiw:hotpath
 func (c *CVT) Register(block, thread int) {
 	w := &c.vecs[block][thread/64]
 	if *w&(1<<(thread%64)) == 0 {
@@ -58,6 +60,8 @@ func (c *CVT) Register(block, thread int) {
 }
 
 // RegisterBatch ORs a whole batch bitmap at the given word index.
+//
+//vgiw:hotpath
 func (c *CVT) RegisterBatch(block, wordIdx int, bitmap uint64) {
 	c.vecs[block][wordIdx] |= bitmap
 	c.Writes++

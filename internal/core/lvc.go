@@ -63,6 +63,8 @@ func (l *LVC) Reset() {
 // Access reads or writes live value lv for tile-relative thread tid.
 // Timing: LVC bank access on a hit; L2 fill on a miss; dirty evictions spill
 // to the L2 (§3.4: "allows live values to be spilled to memory").
+//
+//vgiw:hotpath
 func (l *LVC) Access(lv, tid int, write bool, value uint32, now int64) (uint32, int64) {
 	if write {
 		l.Stores++

@@ -35,6 +35,11 @@ type Config struct {
 	// same-line stores from different LDST units. Off by default (the
 	// paper's VGIW performs no memory coalescing).
 	WriteCoalescing bool
+	// Checked runs the kernel-IR verifier after every compiler pass and
+	// the placed-graph checker after placement (internal/verify). On in
+	// tests and the daemon's compile path; off in timed runs — the checks
+	// re-derive whole-kernel analyses and would distort measurements.
+	Checked bool
 }
 
 // DefaultConfig is the evaluated machine: Table 1 fabric, §3.6 memory system
@@ -192,6 +197,11 @@ func (m *Machine) Prepare(ck *compile.CompiledKernel) (*Prepared, error) {
 		pl, err := fabric.Place(m.grid, g, replicas)
 		if err != nil {
 			return nil, err
+		}
+		if m.cfg.Checked {
+			if err := fabric.VerifyPlaced("place", m.grid, pl, ck.LV.NumIDs); err != nil {
+				return nil, fmt.Errorf("core: kernel %s: %w", k.Name, err)
+			}
 		}
 		p.Placements[bi] = pl
 		p.Replicas[bi] = replicas
@@ -451,12 +461,16 @@ func (m *Machine) runTile(ctx context.Context, ck *compile.CompiledKernel, place
 // Compile runs the full compiler pipeline for this machine: fabric fitting,
 // plus (optionally) throughput-driven block splitting.
 func (m *Machine) Compile(k *kir.Kernel) (*compile.CompiledKernel, error) {
+	var opts []compile.Option
+	if m.cfg.Checked {
+		opts = append(opts, compile.Checked())
+	}
 	if m.cfg.SplitForThroughput {
 		return compile.OptimizeSplits(k,
 			func(g *compile.BlockDFG) int { return fabric.MaxReplicasFor(m.grid, g) },
-			m.cfg.Fabric.MaxReplicas)
+			m.cfg.Fabric.MaxReplicas, opts...)
 	}
-	return compile.CompileFitted(k, m.grid.Fits)
+	return compile.CompileFitted(k, m.grid.Fits, opts...)
 }
 
 // RunKernel compiles (with fabric-fitting block splitting) and runs a kernel.

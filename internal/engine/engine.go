@@ -20,7 +20,7 @@ package engine
 
 import (
 	"context"
-	"fmt"
+	"errors"
 
 	"vgiw/internal/compile"
 	"vgiw/internal/fabric"
@@ -309,8 +309,15 @@ func (e *Engine) RunVectorCtx(ctx context.Context, p *fabric.Placement, threads 
 	return st, nil
 }
 
+// errUnknownNodeKind is the per-token path's only error of its own; a
+// static value because runThread must not allocate (the verifier rejects
+// graphs with unknown kinds long before they reach the engine).
+var errUnknownNodeKind = errors.New("engine: unknown node kind")
+
 // runThread executes every node of the graph for one thread and returns the
 // thread's completion cycle.
+//
+//vgiw:hotpath
 func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hooks, st *Stats) (int64, error) {
 	g := p.Graph
 	unitOf := p.UnitOf[r]
@@ -379,7 +386,7 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 				return 0, err
 			}
 		default:
-			return 0, fmt.Errorf("engine: unknown node kind %v", n.Kind)
+			return 0, errUnknownNodeKind
 		}
 
 		st.Ops[n.Class()]++
@@ -420,6 +427,8 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 }
 
 // execOp executes a kernel-instruction node.
+//
+//vgiw:hotpath
 func (e *Engine) execOp(n *compile.Node, unit, tid int, ready int64, h *Hooks, st *Stats) (uint32, int64, error) {
 	op := n.Instr.Op
 	switch {
@@ -502,6 +511,8 @@ func (e *Engine) operand(n *compile.Node, i int) uint32 {
 // issuePipelined models a fully pipelined unit: one initiation per cycle,
 // with out-of-order claiming so a late token does not delay earlier-ready
 // ones (tagged-token dynamic dataflow).
+//
+//vgiw:hotpath
 func (e *Engine) issuePipelined(unit int, ready int64) int64 {
 	return e.units[unit].Alloc(ready)
 }
@@ -510,6 +521,8 @@ func (e *Engine) issuePipelined(unit int, ready int64) int64 {
 // non-pipelined circuit; an operation occupies one instance for its full
 // latency, but a new operation can start whenever an instance and the issue
 // port are free.
+//
+//vgiw:hotpath
 func (e *Engine) issueSCU(unit int, ready, lat int64) int64 {
 	pool := &e.scuPool[unit]
 	start := e.issuePipelined(unit, pool.Admit(ready))
@@ -520,6 +533,8 @@ func (e *Engine) issueSCU(unit int, ready, lat int64) int64 {
 // issueLDST models the reservation buffer: at most ReservationSlots memory
 // operations outstanding per LDST unit. A slot frees when its own operation
 // completes, so hits drain around a stalled miss.
+//
+//vgiw:hotpath
 func (e *Engine) issueLDST(unit int, ready int64) int64 {
 	return e.issuePipelined(unit, e.resBuf[unit].Admit(ready))
 }

@@ -1,0 +1,110 @@
+package fabric
+
+import (
+	"fmt"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/verify"
+)
+
+// VerifyPlacement checks a placed graph against the grid that produced it:
+// every node of every replica sits on a distinct in-range unit of its class,
+// the replica count is within what the grid can host, and every recorded
+// edge latency equals the interconnect distance recomputed from the hosting
+// units (≥ 1 cycle — two nodes never share a unit). It is the last line of
+// the Checked pipeline: compile.VerifyGraph vouches for the graph, this
+// vouches for its mapping onto hardware.
+//
+// Diagnostics use Block for the graph's source block ID and Op for the
+// offending node, matching the compiler-side checkers.
+func VerifyPlacement(pass string, g *Grid, p *Placement) []verify.Diagnostic {
+	var ds []verify.Diagnostic
+	block := -1
+	if p.Graph != nil {
+		block = p.Graph.BlockID
+	}
+	addf := func(node int, format string, args ...any) {
+		ds = append(ds, verify.Diagnostic{Pass: pass, Block: block, Op: node,
+			Msg: fmt.Sprintf(format, args...)})
+	}
+	if p.Graph == nil {
+		addf(-1, "placement has no graph")
+		return ds
+	}
+	graph := p.Graph
+	if p.Replicas < 1 {
+		addf(-1, "placement has %d replicas, need at least 1", p.Replicas)
+		return ds
+	}
+	if fit := MaxReplicasFor(g, graph); p.Replicas > fit {
+		addf(-1, "placement has %d replicas but only %d fit the grid", p.Replicas, fit)
+	}
+	if len(p.UnitOf) != p.Replicas || len(p.EdgeLat) != p.Replicas || len(p.CtlLat) != p.Replicas {
+		addf(-1, "placement tables cover %d/%d/%d replicas, want %d",
+			len(p.UnitOf), len(p.EdgeLat), len(p.CtlLat), p.Replicas)
+		return ds
+	}
+
+	host := make(map[int][2]int, len(graph.Nodes)*p.Replicas) // unit -> (replica, node)
+	for r := 0; r < p.Replicas; r++ {
+		unitOf := p.UnitOf[r]
+		if len(unitOf) != len(graph.Nodes) {
+			addf(-1, "replica %d places %d nodes, graph has %d", r, len(unitOf), len(graph.Nodes))
+			continue
+		}
+		for _, n := range graph.Nodes {
+			u := unitOf[n.ID]
+			if u < 0 || u >= len(g.Units) {
+				addf(n.ID, "replica %d: node on unit %d, grid has %d units", r, u, len(g.Units))
+				continue
+			}
+			if got, want := g.Units[u].Class, n.Class(); got != want {
+				addf(n.ID, "replica %d: %v node placed on %v unit %d", r, want, got, u)
+			}
+			if prev, taken := host[u]; taken {
+				addf(n.ID, "replica %d: unit %d already hosts node %d of replica %d",
+					r, u, prev[1], prev[0])
+			}
+			host[u] = [2]int{r, n.ID}
+		}
+		if len(p.EdgeLat[r]) != len(graph.Nodes) || len(p.CtlLat[r]) != len(graph.Nodes) {
+			addf(-1, "replica %d: latency tables cover %d/%d nodes, want %d",
+				r, len(p.EdgeLat[r]), len(p.CtlLat[r]), len(graph.Nodes))
+			continue
+		}
+		checkLats := func(n int, ins []int, lats []int64, kind string) {
+			if len(lats) != len(ins) {
+				addf(n, "replica %d: %d %s latencies for %d edges", r, len(lats), kind, len(ins))
+				return
+			}
+			for i, in := range ins {
+				if unitOf[in] < 0 || unitOf[in] >= len(g.Units) || unitOf[n] < 0 || unitOf[n] >= len(g.Units) {
+					continue // out-of-range unit already reported above
+				}
+				want := g.Hops(unitOf[in], unitOf[n])
+				if lats[i] != want {
+					addf(n, "replica %d: %s edge %d latency %d, interconnect distance is %d",
+						r, kind, i, lats[i], want)
+				}
+			}
+		}
+		for _, n := range graph.Nodes {
+			checkLats(n.ID, n.In, p.EdgeLat[r][n.ID], "data")
+			checkLats(n.ID, n.CtlIn, p.CtlLat[r][n.ID], "control")
+		}
+	}
+	return ds
+}
+
+// VerifyPlaced runs the graph checker and the placement checker together:
+// the full placed-artifact invariant for one block. numLVs bounds the
+// graph's live-value IDs (0 for whole-kernel SGMF graphs, which must not
+// touch the LVC).
+func VerifyPlaced(pass string, g *Grid, p *Placement, numLVs int) error {
+	var ds []verify.Diagnostic
+	if p.Graph != nil {
+		ds = compile.VerifyGraph(pass, p.Graph, numLVs)
+	}
+	ds = append(ds, VerifyPlacement(pass, g, p)...)
+	return verify.Join(ds)
+}

@@ -26,7 +26,9 @@ import (
 	"vgiw/internal/kir"
 )
 
-// Parse builds a kernel from kasm source text.
+// Parse builds a kernel from kasm source text. Every instruction, block, and
+// terminator records its source position (kir.Pos), so verifier diagnostics
+// for parsed kernels point back at the offending assembly line.
 func Parse(src string) (*kir.Kernel, error) {
 	p := &parser{k: &kir.Kernel{}}
 	for lineNo, raw := range strings.Split(src, "\n") {
@@ -34,11 +36,15 @@ func Parse(src string) (*kir.Kernel, error) {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		line = strings.TrimSpace(line)
-		if line == "" {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
 			continue
 		}
-		if err := p.line(line); err != nil {
+		p.pos = kir.Pos{
+			Line: int32(lineNo + 1),
+			Col:  int32(len(line) - len(strings.TrimLeft(line, " \t")) + 1),
+		}
+		if err := p.line(trimmed); err != nil {
 			return nil, fmt.Errorf("kasm: line %d: %w", lineNo+1, err)
 		}
 	}
@@ -58,6 +64,7 @@ type parser struct {
 	k          *kir.Kernel
 	cur        *kir.Block
 	terminated bool
+	pos        kir.Pos // position of the line currently being parsed
 }
 
 func (p *parser) line(line string) error {
@@ -119,7 +126,7 @@ func (p *parser) blockHeader(line string) error {
 	if err != nil || idx != len(p.k.Blocks) {
 		return fmt.Errorf("block index must be %d, got %q", len(p.k.Blocks), fields[0])
 	}
-	b := &kir.Block{Label: strings.TrimSuffix(fields[1], ":")}
+	b := &kir.Block{Label: strings.TrimSuffix(fields[1], ":"), Pos: p.pos}
 	for _, f := range fields[2:] {
 		if f == "barrier" {
 			b.Barrier = true
@@ -144,7 +151,7 @@ func (p *parser) stmt(line string) error {
 		if err != nil {
 			return err
 		}
-		p.cur.Term = kir.Terminator{Kind: kir.TermJump, Then: t}
+		p.cur.Term = kir.Terminator{Kind: kir.TermJump, Then: t, Pos: p.pos}
 		p.terminated = true
 		return nil
 	case "br":
@@ -163,12 +170,12 @@ func (p *parser) stmt(line string) error {
 		if err != nil {
 			return err
 		}
-		p.cur.Term = kir.Terminator{Kind: kir.TermBranch, Cond: c, Then: then, Else: els}
+		p.cur.Term = kir.Terminator{Kind: kir.TermBranch, Cond: c, Then: then, Else: els, Pos: p.pos}
 		p.noteReg(c)
 		p.terminated = true
 		return nil
 	case "ret":
-		p.cur.Term = kir.Terminator{Kind: kir.TermRet}
+		p.cur.Term = kir.Terminator{Kind: kir.TermRet, Pos: p.pos}
 		p.terminated = true
 		return nil
 	}
@@ -187,7 +194,7 @@ func (p *parser) stmt(line string) error {
 		if err != nil {
 			return err
 		}
-		in := kir.Instr{Op: op, Dst: kir.NoReg, Src: [3]kir.Reg{addr, val, kir.NoReg}}
+		in := kir.Instr{Op: op, Dst: kir.NoReg, Src: [3]kir.Reg{addr, val, kir.NoReg}, Pos: p.pos}
 		if len(fields) == 4 {
 			off, err := offRef(fields[3])
 			if err != nil {
@@ -217,7 +224,7 @@ func (p *parser) stmt(line string) error {
 	if !op.HasDst() {
 		return fmt.Errorf("%v cannot have a destination", op)
 	}
-	in := kir.Instr{Op: op, Dst: dst, Src: [3]kir.Reg{kir.NoReg, kir.NoReg, kir.NoReg}}
+	in := kir.Instr{Op: op, Dst: dst, Src: [3]kir.Reg{kir.NoReg, kir.NoReg, kir.NoReg}, Pos: p.pos}
 	args := fields[3:]
 	switch op {
 	case kir.OpConst:

@@ -19,6 +19,7 @@ type Instr struct {
 	Dst Reg    // NoReg when Op.HasDst() is false
 	Src [3]Reg // unused slots hold NoReg
 	Imm int32  // constant, parameter index, or address offset (in words)
+	Pos Pos    // kasm source position; zero for synthesized instructions
 }
 
 func (in Instr) String() string {
@@ -58,6 +59,7 @@ type Terminator struct {
 	Cond Reg // used by TermBranch
 	Then int // successor block index
 	Else int // successor block index (TermBranch only)
+	Pos  Pos // kasm source position; zero for synthesized terminators
 }
 
 func (t Terminator) String() string {
@@ -94,6 +96,7 @@ type Block struct {
 	Label  string // human-readable name ("entry", "loop.body", ...)
 	Instrs []Instr
 	Term   Terminator
+	Pos    Pos // kasm source position of the block header; zero if synthesized
 
 	// Barrier marks a __syncthreads boundary: every thread of a CTA must
 	// have completed all predecessor blocks before any thread executes
@@ -254,6 +257,7 @@ func (k *Kernel) Clone() *Kernel {
 			Label:   b.Label,
 			Instrs:  append([]Instr(nil), b.Instrs...),
 			Term:    b.Term,
+			Pos:     b.Pos,
 			Barrier: b.Barrier,
 		}
 		nk.Blocks[i] = nb

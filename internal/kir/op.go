@@ -132,6 +132,10 @@ func (c UnitClass) String() string {
 	return fmt.Sprintf("UnitClass(%d)", uint8(c))
 }
 
+// Valid reports whether op is an executable opcode: in range and not OpNop
+// (which never appears in well-formed kernels).
+func (op Op) Valid() bool { return op > OpNop && op < opCount }
+
 // Class reports the functional-unit class that executes op.
 func (op Op) Class() UnitClass {
 	switch op {

@@ -1,0 +1,28 @@
+package kir
+
+import "fmt"
+
+// Pos is a position in the kasm source text a kernel was parsed from.
+// Builder-constructed kernels leave it zero; the kasm parser fills it in so
+// verifier diagnostics and compile errors can point at the offending assembly
+// line. Positions are metadata only: they never influence kernel semantics,
+// printing, or compiler decisions, and passes that synthesize instructions
+// (remat, if-conversion, splitting) leave the position zero on new code while
+// struct copies preserve it on moved code.
+type Pos struct {
+	Line int32 // 1-based line in the kasm source; 0 = unknown
+	Col  int32 // 1-based column of the first token; 0 = unknown
+}
+
+// IsZero reports whether the position is unset.
+func (p Pos) IsZero() bool { return p.Line == 0 }
+
+func (p Pos) String() string {
+	if p.IsZero() {
+		return ""
+	}
+	if p.Col == 0 {
+		return fmt.Sprintf("line %d", p.Line)
+	}
+	return fmt.Sprintf("line %d:%d", p.Line, p.Col)
+}

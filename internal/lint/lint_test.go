@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// findingKey compresses a finding to "check:function-ish substring" for
+// matching: the fixture encodes intent in function names, so expectations
+// reference those instead of line numbers.
+func contains(fs []Finding, check, msgSub string) bool {
+	for _, f := range fs {
+		if f.Check == check && strings.Contains(f.Msg, msgSub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFixtureFindings(t *testing.T) {
+	fs, err := Dir(filepath.Join("testdata", "src", "fixture"), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ check, msg string }{
+		{"hotpath", "append"},
+		{"hotpath", "map literal"},
+		{"hotpath", "make(map)"},
+		{"hotpath", "function literal"},
+		{"hotpath", "fmt.Errorf"},
+		{"ctxpoll", "pollEvery"},
+		{"ctxpoll", "pollInCond"},
+	}
+	for _, w := range want {
+		if !contains(fs, w.check, w.msg) {
+			t.Errorf("missing %s finding matching %q in:\n%s", w.check, w.msg, dump(fs))
+		}
+	}
+	if len(fs) != len(want) {
+		t.Errorf("got %d findings, want %d:\n%s", len(fs), len(want), dump(fs))
+	}
+	// The clean functions must not appear at all.
+	for _, clean := range []string{"hotClean", "coldAlloc", "pollStrided", "pollCountdown", "pollCoarse", "pollOutsideLoop"} {
+		for _, f := range fs {
+			if strings.Contains(f.Msg, clean) {
+				t.Errorf("clean function %s flagged: %v", clean, f)
+			}
+		}
+	}
+}
+
+func TestNilGuardFindings(t *testing.T) {
+	fs, err := Dir(filepath.Join("testdata", "src", "trace"), "fixturetrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Len", "LateGuard"} {
+		if !contains(fs, "nilguard", "(*Sink)."+w) {
+			t.Errorf("missing nilguard finding for %s in:\n%s", w, dump(fs))
+		}
+	}
+	if len(fs) != 2 {
+		t.Errorf("got %d findings, want 2:\n%s", len(fs), dump(fs))
+	}
+}
+
+// TestRepoIsClean is the enforcement test: the real tree must lint clean.
+// A failure here IS the lint report — fix the code or annotate it.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	fs, err := Walk(filepath.Join("..", ".."), "vgiw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) > 0 {
+		t.Errorf("vgiwlint findings in the tree:\n%s", dump(fs))
+	}
+}
+
+func dump(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+// Package fixture seeds one violation per vgiwlint check, plus clean
+// variants, for the lint package's tests. Line positions matter to the
+// test expectations only loosely (findings are matched by check name and
+// function), so edits here just need the matching test update.
+package fixture
+
+import (
+	"context"
+	"fmt"
+)
+
+var sink uint64
+
+// hotAppend grows a slice on the hot path.
+//
+//vgiw:hotpath
+func hotAppend(xs []int, v int) []int {
+	return append(xs, v) // want hotpath append
+}
+
+// hotMapLit builds a map literal on the hot path.
+//
+//vgiw:hotpath
+func hotMapLit(k string) map[string]int {
+	return map[string]int{k: 1} // want hotpath map literal
+}
+
+// hotMakeMap allocates a map on the hot path.
+//
+//vgiw:hotpath
+func hotMakeMap() map[int]int {
+	return make(map[int]int) // want hotpath make(map)
+}
+
+// hotClosure allocates a closure on the hot path.
+//
+//vgiw:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want hotpath closure
+}
+
+// hotFmt formats on the hot path.
+//
+//vgiw:hotpath
+func hotFmt(n int) error {
+	return fmt.Errorf("bad value %d", n) // want hotpath fmt
+}
+
+// hotClean is a hot-path function with only allowed constructs: arithmetic,
+// slice indexing, and slice make (pre-sizing a reusable buffer).
+//
+//vgiw:hotpath
+func hotClean(xs []int64, n int) []int64 {
+	if cap(xs) < n {
+		xs = make([]int64, n)
+	}
+	xs = xs[:n]
+	for i := range xs {
+		xs[i] = int64(i * i)
+	}
+	return xs
+}
+
+// coldAlloc is unmarked: the same constructs are fine off the hot path.
+func coldAlloc(k string) (map[string]int, error) {
+	m := map[string]int{k: 1}
+	return m, fmt.Errorf("%d entries", len(m))
+}
+
+// pollEvery polls the context on every iteration: flagged.
+func pollEvery(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil { // want ctxpoll
+			return err
+		}
+		sink++
+	}
+	return nil
+}
+
+// pollInCond polls inside the loop condition: flagged.
+func pollInCond(ctx context.Context) {
+	for ctx.Err() == nil { // want ctxpoll
+		sink++
+	}
+}
+
+// pollStrided uses the modulus idiom: clean.
+func pollStrided(ctx context.Context, n int) error {
+	const stride = 64
+	for i := 0; i < n; i++ {
+		if i%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		sink++
+	}
+	return nil
+}
+
+// pollCountdown uses the countdown idiom: clean.
+func pollCountdown(ctx context.Context, n int) error {
+	checkIn := 4096
+	for i := 0; i < n; i++ {
+		if checkIn--; checkIn <= 0 {
+			checkIn = 4096
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		sink++
+	}
+	return nil
+}
+
+// pollCoarse is annotated: each iteration is a whole coarse work item.
+//
+//vgiw:coarsepoll
+func pollCoarse(ctx context.Context, items []func()) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it()
+	}
+	return nil
+}
+
+// pollOutsideLoop is a plain poll with no loop: clean.
+func pollOutsideLoop(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,43 @@
+// Package trace is a fixture standing in for the real internal/trace: the
+// nilguard check keys on the package name and the Sink type name.
+package trace
+
+// Sink mimics the real sink: a nil *Sink means tracing is off.
+type Sink struct {
+	mask uint64
+	n    int
+}
+
+// Enabled guards in-expression: clean.
+func (s *Sink) Enabled(c uint64) bool { return s != nil && s.mask&c != 0 }
+
+// Emit guards with a leading if: clean.
+func (s *Sink) Emit(v uint64) {
+	if s == nil || s.mask&v == 0 {
+		return
+	}
+	s.n++
+}
+
+// Len forgets the guard: flagged.
+func (s *Sink) Len() int { // want nilguard
+	return s.n
+}
+
+// LateGuard checks nil only after touching the receiver: flagged.
+func (s *Sink) LateGuard() int { // want nilguard
+	n := s.n
+	if s == nil {
+		return 0
+	}
+	return n
+}
+
+// reset is unexported: internal callers hold the non-nil invariant.
+func (s *Sink) reset() { s.n = 0 }
+
+// Other is not a Sink; its methods are out of scope.
+type Other struct{ n int }
+
+// Count needs no guard.
+func (o *Other) Count() int { return o.n }

@@ -37,6 +37,8 @@ type BlockReport struct {
 // per-block place) on kasm source and marshals a CompileReport. The ctx
 // polls sit between blocks — placement of a single block is fast, so that is
 // granularity enough.
+//
+//vgiw:coarsepoll
 func (s *Server) compileSource(ctx context.Context, src string) ([]byte, error) {
 	k, err := kasm.Parse(src)
 	if err != nil {
@@ -46,7 +48,10 @@ func (s *Server) compileSource(ctx context.Context, src string) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	ck, err := compile.CompileFitted(k, grid.Fits)
+	// The daemon's compile path always verifies: a source job is a
+	// compile-service request, and the verifier's cost is noise next to the
+	// HTTP round trip.
+	ck, err := compile.CompileFitted(k, grid.Fits, compile.Checked())
 	if err != nil {
 		return nil, err
 	}
@@ -65,6 +70,9 @@ func (s *Server) compileSource(ctx context.Context, src string) ([]byte, error) 
 		replicas := fabric.MaxReplicasFor(grid, g)
 		p, err := fabric.Place(grid, g, replicas)
 		if err != nil {
+			return nil, err
+		}
+		if err := fabric.VerifyPlaced("place", grid, p, ck.LV.NumIDs); err != nil {
 			return nil, err
 		}
 		rep.Placements = append(rep.Placements, BlockReport{

@@ -28,6 +28,10 @@ type Config struct {
 	Fabric fabric.Config
 	Mem    mem.Config
 	Engine engine.Options
+	// Checked runs the kernel-IR verifier after every mapping pass and
+	// the placed-graph checker after placement (internal/verify). On in
+	// tests and the daemon's compile path; off in timed runs.
+	Checked bool
 }
 
 // DefaultConfig matches the VGIW fabric and memory system so comparisons
@@ -90,16 +94,20 @@ type Mapped struct {
 // reporting why a kernel is not SGMF-mappable (loops, barriers). The kernel
 // is mutated in place (block scheduling, loop unrolling).
 func (m *Machine) Translate(k *kir.Kernel) (*compile.BlockDFG, error) {
+	var opts []compile.Option
+	if m.cfg.Checked {
+		opts = append(opts, compile.Checked())
+	}
 	if _, err := compile.ScheduleBlocks(k); err != nil {
 		return nil, err
 	}
 	// Counted loops with compile-time trip counts can be fully unrolled,
 	// which turns some loopy kernels into SGMF-mappable acyclic graphs
 	// (bounded so the result still has a chance of fitting the fabric).
-	if _, err := compile.UnrollLoops(k, 16, 96); err != nil {
+	if _, err := compile.UnrollLoops(k, 16, 96, opts...); err != nil {
 		return nil, err
 	}
-	return compile.IfConvert(k)
+	return compile.IfConvert(k, opts...)
 }
 
 // PlaceGraph maps the whole-kernel graph onto the fabric with as many
@@ -108,6 +116,12 @@ func (m *Machine) PlaceGraph(name string, g *compile.BlockDFG) (*fabric.Placemen
 	p, err := fabric.PlaceMax(m.grid, g)
 	if err != nil {
 		return nil, fmt.Errorf("sgmf: kernel %s: %w", name, err)
+	}
+	if m.cfg.Checked {
+		// numLVs 0: the flattened whole-kernel graph must not touch the LVC.
+		if err := fabric.VerifyPlaced("place", m.grid, p, 0); err != nil {
+			return nil, fmt.Errorf("sgmf: kernel %s: %w", name, err)
+		}
 	}
 	return p, nil
 }

@@ -6,6 +6,14 @@ import (
 	"vgiw/internal/kir"
 )
 
+// checkedConfig is the default machine with the verifier on: every mapping
+// pass and placement in the tests is checked.
+func checkedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Checked = true
+	return cfg
+}
+
 func buildDiamond() *kir.Kernel {
 	b := kir.NewBuilder("fig1a")
 	b.SetParams(2)
@@ -50,7 +58,7 @@ func TestSGMFDiamondMatchesReference(t *testing.T) {
 	if err := in.Run(); err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +104,7 @@ func TestSGMFRejectsLoops(t *testing.T) {
 	b.Ret()
 	k := b.MustBuild()
 
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +128,7 @@ func TestSGMFRejectsOversizedKernels(t *testing.T) {
 	b.Ret()
 	k := b.MustBuild()
 
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +141,7 @@ func TestSGMFSingleConfiguration(t *testing.T) {
 	// SGMF pays the configuration cost exactly once, regardless of thread
 	// count: doubling threads should add ~threads/replicas cycles, not
 	// another configuration.
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +186,7 @@ func TestSGMFReplicationThroughput(t *testing.T) {
 	const n = 2048
 	launch := kir.Launch1D(n/32, 32, 0)
 
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +198,7 @@ func TestSGMFReplicationThroughput(t *testing.T) {
 		t.Fatalf("tiny kernel placed only %d replicas", res.Replicas)
 	}
 
-	cfgOne := DefaultConfig()
+	cfgOne := checkedConfig()
 	cfgOne.Fabric.MaxReplicas = 1
 	mOne, err := NewMachine(cfgOne)
 	if err != nil {
@@ -238,7 +246,7 @@ func TestSGMFUnrollsCountedLoops(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +263,7 @@ func TestSGMFUnrollsCountedLoops(t *testing.T) {
 
 // TestSGMFParamMismatch surfaces launch errors.
 func TestSGMFParamMismatch(t *testing.T) {
-	m, err := NewMachine(DefaultConfig())
+	m, err := NewMachine(checkedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

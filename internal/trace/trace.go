@@ -213,10 +213,14 @@ func (s *Sink) SetMaxEvents(n int) {
 // Enabled reports whether events of the category would be recorded. Call
 // sites with non-trivial argument construction should guard on it; plain
 // Emit calls need not (Emit performs the same check).
+//
+//vgiw:hotpath
 func (s *Sink) Enabled(c Cat) bool { return s != nil && s.mask&c != 0 }
 
 // Emit records one event. Safe for concurrent use; a nil sink or a filtered
 // category is a no-op with no allocation.
+//
+//vgiw:hotpath
 func (s *Sink) Emit(e Event) {
 	if s == nil || s.mask&e.Cat == 0 {
 		return

@@ -1,0 +1,92 @@
+package verify_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vgiw/internal/kasm"
+	"vgiw/internal/verify"
+)
+
+// TestInvalidCorpus runs every deliberately broken kernel in
+// testdata/invalid through the parser and the verifier and asserts the
+// specific diagnostic fires. Kernels that are malformed at the syntax or
+// kir.Validate level never reach the verifier; for those the expected text
+// is matched against the parse error instead.
+func TestInvalidCorpus(t *testing.T) {
+	cases := []struct {
+		file     string
+		want     string // substring of the diagnostic (or parse error)
+		wantLine int32  // if nonzero, the diagnostic must carry this source line
+	}{
+		{"use_before_def.kasm", "r0 used before definition", 4},
+		{"use_before_def_path.kasm", "r2 used before definition", 13},
+		{"use_before_def_loop.kasm", "r1 used before definition", 7},
+		{"type_clash_int_fadd.kasm", "src0 r0 is defined as int but fadd expects float", 5},
+		{"type_clash_float_add.kasm", "src0 r1 is defined as float but add expects int", 6},
+		{"type_clash_branch.kasm", "branch condition r1 is defined as float", 6},
+		{"select_cond_float.kasm", "src0 r1 is defined as float but select expects int", 6},
+		{"unreachable.kasm", `block "orphan" unreachable from entry`, 7},
+		{"schedule_order.kasm", "schedule (reverse-postorder) position", 0},
+		{"bad_terminator.kasm", "successor block 7 out of range", 0},
+		{"bad_store.kasm", "st takes address and value registers", 0},
+		{"unterminated.kasm", "not terminated", 0},
+	}
+	covered := make(map[string]bool, len(cases))
+	for _, tc := range cases {
+		covered[tc.file] = true
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", "invalid", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := kasm.Parse(string(src))
+			if err != nil {
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Fatalf("parse error %q does not mention %q", err, tc.want)
+				}
+				return
+			}
+			ds := verify.Kernel("corpus", k, verify.Compiled)
+			if len(ds) == 0 {
+				t.Fatalf("verifier accepted broken kernel %s", tc.file)
+			}
+			for _, d := range ds {
+				if !strings.Contains(d.Error(), tc.want) {
+					continue
+				}
+				if tc.wantLine != 0 && d.Pos.Line != tc.wantLine {
+					t.Errorf("diagnostic %v at line %d, want line %d", d, d.Pos.Line, tc.wantLine)
+				}
+				if d.Pass != "corpus" {
+					t.Errorf("diagnostic pass = %q, want %q", d.Pass, "corpus")
+				}
+				return
+			}
+			t.Fatalf("no diagnostic mentions %q; got:\n%s", tc.want, joinDiags(ds))
+		})
+	}
+
+	// Every corpus file must be pinned by a case above.
+	ents, err := os.ReadDir(filepath.Join("testdata", "invalid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !covered[e.Name()] {
+			t.Errorf("corpus file %s has no test case", e.Name())
+		}
+	}
+}
+
+func joinDiags(ds []verify.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString("  ")
+		b.WriteString(d.Error())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

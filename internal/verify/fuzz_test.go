@@ -1,0 +1,73 @@
+package verify_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vgiw/internal/compile"
+	"vgiw/internal/kasm"
+	"vgiw/internal/kir"
+	"vgiw/internal/verify"
+)
+
+// FuzzKasmVerify fuzzes the full front half of the toolchain with the
+// verifier as the oracle:
+//
+//  1. kasm.Parse must never panic, whatever the input;
+//  2. a kernel the Source-mode verifier accepts must not panic the
+//     reference interpreter (errors — out-of-bounds accesses, runaway
+//     loops — are fine; panics are bugs in either the verifier's rules or
+//     the interpreter);
+//  3. nor may it panic the compiler pipeline, whose Checked mode re-runs
+//     the verifier after every pass.
+//
+// This test package is external (verify_test) so it can import compile,
+// which itself depends on verify.
+func FuzzKasmVerify(f *testing.F) {
+	f.Add("kernel k params=0 shared=0\n@0 entry:\n  ret\n")
+	f.Add("kernel loop params=1 shared=4\n@0 entry:\n  r0 = tid\n  r1 = const 0\n  jmp @1\n@1 body:\n  r1 = addi r1, 1\n  r2 = setlt r1 r0\n  br r2 @1 @2\n@2 exit:\n  ret\n")
+	// Every invalid-corpus kernel doubles as a seed: near-valid inputs are
+	// the interesting frontier.
+	ents, err := os.ReadDir(filepath.Join("testdata", "invalid"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range ents {
+		src, err := os.ReadFile(filepath.Join("testdata", "invalid", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := kasm.Parse(src)
+		if err != nil {
+			return // rejection is fine; only a panic would fail the fuzz
+		}
+		if err := verify.Check("fuzz", k, verify.Source); err != nil {
+			return
+		}
+		// Bound the resources a verifier-accepted kernel may claim before
+		// running it; the fuzzer would otherwise find header-driven OOM,
+		// which is not a property worth testing.
+		if k.NumRegs > 1024 || k.SharedWds > 1<<14 || len(k.Blocks) > 256 {
+			return
+		}
+		params := make([]uint32, k.NumParams)
+		in := &kir.Interp{
+			Kernel:   k,
+			Launch:   kir.Launch1D(1, 4, params...),
+			Global:   make([]uint32, 64),
+			MaxSteps: 1 << 12,
+		}
+		_ = in.Run() // errors allowed, panics are not
+
+		kk := k.Clone()
+		if _, err := compile.ScheduleBlocks(kk); err != nil {
+			return
+		}
+		_, _ = compile.Compile(kk, compile.Checked())
+	})
+}

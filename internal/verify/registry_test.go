@@ -1,0 +1,33 @@
+package verify_test
+
+import (
+	"testing"
+
+	"vgiw/internal/kernels"
+	"vgiw/internal/verify"
+)
+
+// TestRegistryKernelsVerify runs the source-level verifier over every
+// benchmark kernel in the registry: the checks must hold on all real
+// frontends, not just the invalid corpus. This is the false-positive gate
+// for the type and def-use analyses.
+func TestRegistryKernelsVerify(t *testing.T) {
+	for _, spec := range kernels.All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			inst, err := spec.Build(1)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if ds := verify.Kernel("frontend", inst.Kernel, verify.Source); len(ds) > 0 {
+				for _, d := range ds {
+					t.Errorf("%v", d)
+				}
+			}
+			if ds := verify.Launch("frontend", inst.Kernel, inst.Launch); len(ds) > 0 {
+				for _, d := range ds {
+					t.Errorf("%v", d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package verify
+
+import "vgiw/internal/kir"
+
+// vt is the value-type lattice for the 32-bit registers: unknown (no def
+// seen) below int and float, which join to any (a register that holds both —
+// legal register reuse — or a value of statically unknown interpretation:
+// constants, parameters, and loads all produce raw bits).
+type vt uint8
+
+const (
+	tUnknown vt = iota
+	tInt
+	tFloat
+	tAny
+)
+
+func (t vt) String() string {
+	switch t {
+	case tInt:
+		return "int"
+	case tFloat:
+		return "float"
+	case tAny:
+		return "any"
+	}
+	return "unknown"
+}
+
+func joinVT(a, b vt) vt {
+	switch {
+	case a == b:
+		return a
+	case a == tUnknown:
+		return b
+	case b == tUnknown:
+		return a
+	default: // int ⊔ float, or anything with any
+		return tAny
+	}
+}
+
+// resultVT reports the type an instruction's destination holds. Mov and
+// Select propagate their operand types, so the caller iterates to a fixpoint.
+func resultVT(in kir.Instr, regs []vt) vt {
+	switch in.Op {
+	case kir.OpConst, kir.OpParam, kir.OpLoad, kir.OpLoadSh:
+		return tAny // raw bits; either interpretation is legal
+	case kir.OpMov:
+		return regs[in.Src[0]]
+	case kir.OpSelect:
+		return joinVT(regs[in.Src[1]], regs[in.Src[2]])
+	case kir.OpI2F:
+		return tFloat
+	case kir.OpF2I:
+		return tInt
+	case kir.OpFSetEQ, kir.OpFSetNE, kir.OpFSetLT, kir.OpFSetLE:
+		return tInt // comparisons produce 0/1 regardless of operand type
+	}
+	if in.Op.IsFloat() {
+		return tFloat
+	}
+	return tInt // geometry, integer arithmetic/logic, integer comparisons
+}
+
+// operandVT reports the type operand s of op must hold, or tAny when the op
+// accepts raw bits there (mov, select arms, store values).
+func operandVT(op kir.Op, s int) vt {
+	switch op {
+	case kir.OpMov:
+		return tAny
+	case kir.OpSelect:
+		if s == 0 {
+			return tInt // predicate: comparison results are ints
+		}
+		return tAny
+	case kir.OpLoad, kir.OpLoadSh:
+		return tInt // address
+	case kir.OpStore, kir.OpStoreSh:
+		if s == 0 {
+			return tInt // address
+		}
+		return tAny // stored value is raw bits
+	case kir.OpI2F:
+		return tInt
+	case kir.OpF2I:
+		return tFloat
+	}
+	if op.IsFloat() {
+		return tFloat
+	}
+	return tInt
+}
+
+// types checks operand/result type agreement per op signature. Register
+// types are inferred kernel-wide as the join over all definitions, iterated
+// to a fixpoint because mov and select propagate operand types. A use is
+// flagged only when the inferred type and the signature are both definite
+// and disagree, so bit-level idioms through const/param/load never trip it.
+func (c *checker) types() {
+	k := c.k
+	regs := make([]vt, k.NumRegs)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range k.Blocks {
+			for _, in := range b.Instrs {
+				if !in.Op.HasDst() {
+					continue
+				}
+				if nt := joinVT(regs[in.Dst], resultVT(in, regs)); nt != regs[in.Dst] {
+					regs[in.Dst] = nt
+					changed = true
+				}
+			}
+		}
+	}
+
+	conflict := func(want, got vt) bool {
+		return (want == tInt && got == tFloat) || (want == tFloat && got == tInt)
+	}
+	for bi, b := range k.Blocks {
+		for ii, in := range b.Instrs {
+			for s := 0; s < in.Op.NumSrc(); s++ {
+				want, got := operandVT(in.Op, s), regs[in.Src[s]]
+				if conflict(want, got) {
+					c.addf(bi, ii, in.Pos, "src%d r%d is defined as %v but %v expects %v",
+						s, in.Src[s], got, in.Op, want)
+				}
+			}
+		}
+		if t := b.Term; t.Kind == kir.TermBranch && conflict(tInt, regs[t.Cond]) {
+			c.addf(bi, -1, t.Pos, "branch condition r%d is defined as %v", t.Cond, regs[t.Cond])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package verify_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vgiw/internal/kir"
+	"vgiw/internal/verify"
+)
+
+func TestDiagnosticError(t *testing.T) {
+	d := verify.Diagnostic{
+		Pass: "remat", Kernel: "k", Block: 2, Op: 3,
+		Pos: kir.Pos{Line: 14, Col: 3}, Msg: "r7 used before definition",
+	}
+	got := d.Error()
+	for _, want := range []string{"[remat]", "kernel k", "block 2", "instr 3", "line 14:3", "r7 used before definition"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+
+	// Kernel-wide finding: no block/instr/pos fragments.
+	whole := verify.Diagnostic{Pass: "launch", Kernel: "k", Block: -1, Op: -1, Msg: "m"}
+	if got := whole.Error(); strings.Contains(got, "block") || strings.Contains(got, "instr") {
+		t.Errorf("kernel-wide Error() = %q mentions block/instr", got)
+	}
+}
+
+func TestJoinAndDiagnostics(t *testing.T) {
+	if verify.Join(nil) != nil {
+		t.Error("Join(nil) != nil")
+	}
+	ds := []verify.Diagnostic{
+		{Pass: "a", Block: -1, Op: -1, Msg: "one"},
+		{Pass: "b", Block: 0, Op: 1, Msg: "two"},
+	}
+	err := verify.Join(ds)
+	if err == nil {
+		t.Fatal("Join of two diagnostics is nil")
+	}
+	// Diagnostics must survive further wrapping, as compile does with %w.
+	wrapped := fmt.Errorf("compile: pass a: %w", err)
+	got := verify.Diagnostics(wrapped)
+	if len(got) != 2 || got[0] != ds[0] || got[1] != ds[1] {
+		t.Errorf("Diagnostics(wrapped) = %v, want %v", got, ds)
+	}
+	if verify.Diagnostics(fmt.Errorf("plain")) != nil {
+		t.Error("Diagnostics of a plain error is non-nil")
+	}
+}
+
+func TestLaunchChecks(t *testing.T) {
+	k := &kir.Kernel{Name: "l", NumParams: 2}
+	bad := kir.Launch{GridX: 0, GridY: 1, BlockX: 4, BlockY: 1, Params: []uint32{1}}
+	ds := verify.Launch("launch", k, bad)
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (dimensions + params):\n%s", len(ds), joinDiags(ds))
+	}
+	good := kir.Launch1D(1, 4, 1, 2)
+	if ds := verify.Launch("launch", k, good); len(ds) != 0 {
+		t.Errorf("valid launch flagged:\n%s", joinDiags(ds))
+	}
+}
