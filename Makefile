@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench trace-check serve-check lint verify-check fuzz-smoke fmt
+.PHONY: check build test vet race bench bench-record trace-check serve-check lint verify-check fuzz-smoke fmt
 
 # check is the full pre-merge gate: static checks (go vet plus the
 # repo-specific vgiwlint), the test suite under the race detector, the
@@ -40,14 +40,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The engine hot path runs 100 iterations: the memory system's MSHR slabs
+# The engine benchmarks run 100 iterations: the memory system's MSHR slabs
 # double occasionally as simulated time advances, so a single iteration can
 # observe one such allocation; 100 amortize it and the report must read
 # 0 allocs/op (TestEngineHotPathZeroAllocDisabledSink is the hard gate).
+# Their output is piped through benchrecord -check, which warns (but never
+# fails — wall-clock numbers are too noisy for a hard gate) when ns/op
+# regresses >10% against the last entry recorded in BENCH_engine.json.
+ENGINE_BENCH = BenchmarkEngineHotPath|BenchmarkEngineVector|BenchmarkEngineFast
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkEngineHotPath -benchtime 100x ./internal/engine/
+	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime 100x ./internal/engine/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -check
 	$(GO) test -run '^$$' -bench BenchmarkRunAllParallel -benchtime 1x ./internal/bench/
 	$(GO) test -run '^$$' -bench BenchmarkSuiteColdVsWarm -benchtime 1x ./internal/bench/
+
+# bench-record appends the engine benchmark results (tagged with the current
+# commit) to the BENCH_engine.json trajectory. Run it on a quiet machine;
+# entries are append-only history.
+bench-record:
+	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -record
 
 # trace-check runs one small kernel on all three backends with tracing on,
 # validates the Chrome trace-event export, and diffs the metric-name schema

@@ -1,0 +1,205 @@
+// benchrecord filters `go test -bench` output into a benchmark trajectory
+// file, so engine-performance history rides along with the repo the same way
+// the metrics schema does (BENCH_trace.json).
+//
+// It reads benchmark output on stdin and echoes it unchanged to stdout, so it
+// sits at the end of a pipe without hiding anything:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchtime 100x ./internal/engine/ |
+//	    go run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -check
+//
+// With -check it compares each parsed benchmark against the most recent
+// recorded entry of the same name and prints a warning to stderr when ns/op
+// regressed by more than -tolerance (default 10%). The check is advisory —
+// the exit status stays 0 — because wall-clock benchmarks on shared machines
+// are too noisy for a hard gate; the hard gates are the zero-alloc tests.
+//
+// With -record it appends one entry per parsed benchmark:
+//
+//	{"commit": "<git short hash>", "date": "YYYY-MM-DD",
+//	 "bench": "BenchmarkEngineVector/batched", "ns_per_op": 103135,
+//	 "threads_per_sec": 4965000}
+//
+// threads_per_sec is derived as threads * 1e9 / ns_per_op, with -threads
+// naming the per-iteration thread count of the benchmark scenario (512 for
+// the engine hot path). Entries are never rewritten; the file is the full
+// trajectory, oldest first.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type entry struct {
+	Commit        string  `json:"commit"`
+	Date          string  `json:"date"`
+	Bench         string  `json:"bench"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	ThreadsPerSec float64 `json:"threads_per_sec,omitempty"`
+	Note          string  `json:"note,omitempty"`
+}
+
+type trajectory struct {
+	Schema  string  `json:"schema"`
+	Entries []entry `json:"entries"`
+}
+
+const schema = "vgiw-bench/v1"
+
+func main() {
+	file := flag.String("file", "BENCH_engine.json", "trajectory file to read/append")
+	threads := flag.Int("threads", 0, "threads per benchmark iteration (0: omit threads/sec)")
+	record := flag.Bool("record", false, "append parsed results to the trajectory file")
+	check := flag.Bool("check", false, "warn (exit 0) when ns/op regresses past -tolerance vs the last recorded entry")
+	tolerance := flag.Float64("tolerance", 0.10, "relative regression threshold for -check")
+	note := flag.String("note", "", "free-form note attached to recorded entries")
+	flag.Parse()
+
+	results := parseStream(os.Stdin, os.Stdout)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrecord: no benchmark lines on stdin")
+		return
+	}
+
+	// Repeated runs of one benchmark (go test -count N) collapse to the
+	// minimum ns/op: the run least disturbed by machine noise.
+	results = collapseMin(results)
+
+	traj, err := load(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		for _, r := range results {
+			last, ok := latest(traj, r.Bench)
+			if !ok {
+				continue
+			}
+			if r.NsPerOp > last.NsPerOp*(1+*tolerance) {
+				fmt.Fprintf(os.Stderr,
+					"benchrecord: WARNING: %s regressed %.1f%%: %.0f ns/op vs %.0f recorded at %s (%s)\n",
+					r.Bench, 100*(r.NsPerOp/last.NsPerOp-1), r.NsPerOp, last.NsPerOp, last.Commit, last.Date)
+			}
+		}
+	}
+
+	if *record {
+		commit := gitCommit()
+		date := time.Now().UTC().Format("2006-01-02")
+		for i := range results {
+			results[i].Commit = commit
+			results[i].Date = date
+			results[i].Note = *note
+			if *threads > 0 {
+				results[i].ThreadsPerSec = float64(*threads) * 1e9 / results[i].NsPerOp
+			}
+		}
+		traj.Schema = schema
+		traj.Entries = append(traj.Entries, results...)
+		if err := save(*file, traj); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrecord: recorded %d result(s) to %s at %s\n", len(results), *file, commit)
+	}
+}
+
+// parseStream echoes stdin to out while collecting benchmark result lines of
+// the standard form "BenchmarkName-8   100   12345 ns/op [...]". The
+// GOMAXPROCS suffix is stripped so trajectory names stay stable across
+// machines.
+func parseStream(in *os.File, out *os.File) []entry {
+	var results []entry
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		results = append(results, entry{Bench: name, NsPerOp: ns})
+	}
+	return results
+}
+
+// collapseMin keeps one result per benchmark name — the fastest — preserving
+// first-seen order.
+func collapseMin(results []entry) []entry {
+	idx := make(map[string]int)
+	var out []entry
+	for _, r := range results {
+		if i, ok := idx[r.Bench]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i].NsPerOp = r.NsPerOp
+			}
+			continue
+		}
+		idx[r.Bench] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+func load(path string) (trajectory, error) {
+	var t trajectory
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return t, nil
+	}
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("%s: %v", path, err)
+	}
+	return t, nil
+}
+
+func save(path string, t trajectory) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func latest(t trajectory, bench string) (entry, bool) {
+	for i := len(t.Entries) - 1; i >= 0; i-- {
+		if t.Entries[i].Bench == bench {
+			return t.Entries[i], true
+		}
+	}
+	return entry{}, false
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -53,6 +53,7 @@ func main() {
 		traceCat = flag.String("trace-filter", "", "comma-separated trace categories (vgiw,cvt,lvc,simt,sgmf,engine,mem; default all)")
 		metrics  = flag.String("metrics", "", "write the flat metrics registry (one \"name value\" line per metric) to this file")
 		noCache  = flag.Bool("no-cache", false, "use the legacy build-per-run path instead of the shared workload artifact (results are identical)")
+		fast     = flag.Bool("fast", false, "functional-only engine mode: identical results and op counts, no cycle accounting (vgiw/sgmf; cycle metrics read 0)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (at exit) to this file")
 		showVer  = flag.Bool("version", false, "print version and exit")
@@ -108,6 +109,7 @@ func main() {
 	rc := runCfg{
 		arch: *arch, scale: *scale,
 		blocks: *blocks, grid: *grid, timeline: *timeline, noCache: *noCache,
+		fast: *fast,
 	}
 	if *traceOut != "" {
 		mask, err := trace.ParseCats(*traceCat)
@@ -196,6 +198,7 @@ type runCfg struct {
 	grid     bool
 	timeline bool
 	noCache  bool
+	fast     bool
 	sink     *trace.Sink
 	reg      *trace.Registry
 }
@@ -308,6 +311,7 @@ func runVGIW(w io.Writer, inst *kernels.Instance, rc runCfg) error {
 	if rc.grid {
 		cfg.Engine.Profile = true
 	}
+	cfg.Engine.Fast = rc.fast
 	cfg.Engine.Trace = rc.sink
 	m, err := core.NewMachine(cfg)
 	if err != nil {
@@ -464,6 +468,7 @@ func runSIMT(w io.Writer, inst *kernels.Instance, rc runCfg) error {
 
 func runSGMF(w io.Writer, inst *kernels.Instance, rc runCfg) error {
 	cfg := sgmf.DefaultConfig()
+	cfg.Engine.Fast = rc.fast
 	cfg.Engine.Trace = rc.sink
 	m, err := sgmf.NewMachine(cfg)
 	if err != nil {

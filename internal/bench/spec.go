@@ -49,6 +49,11 @@ type JobSpec struct {
 	// TraceFilter is the comma-separated category filter for Trace
 	// (vgiw,cvt,lvc,simt,sgmf,engine,mem; empty = all).
 	TraceFilter string `json:"trace_filter,omitempty"`
+	// Fast runs both simulators' engines in functional-only mode
+	// (engine.Options.Fast): identical results and operation counts, no
+	// cycle-level accounting — for result validation and functional sweeps
+	// where timing is irrelevant.
+	Fast bool `json:"fast,omitempty"`
 	// TimeoutMS caps the job's execution time in milliseconds (0 = the
 	// server's default deadline).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -130,6 +135,8 @@ func (s *JobSpec) Options() (Options, error) {
 	opt.VGIW.ReplicationOff = s.ReplicationOff
 	opt.VGIW.Checked = s.Verify
 	opt.SGMF.Checked = s.Verify
+	opt.VGIW.Engine.Fast = s.Fast
+	opt.SGMF.Engine.Fast = s.Fast
 	return opt, nil
 }
 

@@ -106,6 +106,19 @@ func (l *LVC) Access(lv, tid int, write bool, value uint32, now int64) (uint32, 
 	return out, done
 }
 
+// AccessFast is the functional twin of Access for the engine's fast mode:
+// identical matrix effects and Loads/Stores counters, no cache, spill or
+// trace activity.
+func (l *LVC) AccessFast(lv, tid int, write bool, value uint32) uint32 {
+	if write {
+		l.Stores++
+		l.matrix[lv][tid] = value
+		return 0
+	}
+	l.Loads++
+	return l.matrix[lv][tid]
+}
+
 // Stats returns the cache-level statistics.
 func (l *LVC) Stats() mem.CacheStats { return l.cache.Stats }
 

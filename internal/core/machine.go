@@ -142,6 +142,7 @@ type Result struct {
 	MemStats            mem.SystemStats
 
 	Ops            map[kir.UnitClass]uint64
+	opsAcc         engine.ClassCounts // dense accumulator; folded into Ops once per run
 	FPOps          uint64
 	TokenHops      uint64
 	TokenTransfers uint64
@@ -238,7 +239,6 @@ func (m *Machine) RunPreparedCtx(ctx context.Context, prep *Prepared, launch kir
 	res := &Result{
 		Kernel:     k.Name,
 		Threads:    launch.Threads(),
-		Ops:        make(map[kir.UnitClass]uint64),
 		ReplicasOf: make(map[int]int),
 	}
 	for bi, r := range prep.Replicas {
@@ -294,6 +294,9 @@ func (m *Machine) RunPreparedCtx(ctx context.Context, prep *Prepared, launch kir
 		now = end
 	}
 	res.Cycles = now
+	// One map materialization per run; the per-block hot loop only touches
+	// the dense accumulator.
+	res.Ops = res.opsAcc.Map()
 	res.LVCLoads = lvc.Loads
 	res.LVCStores = lvc.Stores
 	res.LVCStats = lvc.Stats()
@@ -320,6 +323,9 @@ func (m *Machine) runTile(ctx context.Context, ck *compile.CompiledKernel, place
 	hooks.TraceTrack = m.tr.fabric
 	hooks.AccessLV = func(lv, tid int, write bool, value uint32, at int64) (uint32, int64) {
 		return lvc.Access(lv, tid-base, write, value, at)
+	}
+	hooks.AccessLVFast = func(lv, tid int, write bool, value uint32) uint32 {
+		return lvc.AccessFast(lv, tid-base, write, value)
 	}
 	curBlock := 0
 	hooks.Branch = func(tid int, cond uint32, now int64) {
@@ -442,9 +448,7 @@ func (m *Machine) runTile(ctx context.Context, ck *compile.CompiledKernel, place
 		}
 		res.BlockRuns = append(res.BlockRuns, br)
 		for cl, c := range st.Ops {
-			if c != 0 {
-				res.Ops[kir.UnitClass(cl)] += c
-			}
+			res.opsAcc[cl] += c
 		}
 		res.FPOps += st.FPOps
 		res.TokenHops += st.TokenHops

@@ -100,6 +100,8 @@ func TestEngineHotPathZeroAllocDisabledSink(t *testing.T) {
 	}{
 		{"no-sink", Options{}},
 		{"filtered-sink", Options{Trace: trace.NewSink(trace.CatVGIW)}},
+		{"scalar", Options{Scalar: true}},
+		{"fast", Options{Fast: true}},
 	} {
 		e, p, threads, hooks := hotPathSetup(t, tc.opt)
 		min := -1.0

@@ -40,6 +40,15 @@ const (
 // Hooks supplies the environment a graph executes in: memory, live values,
 // launch geometry, and branch-outcome reporting. The engine itself owns no
 // state between calls.
+//
+// Param and Geometry must be pure: their results may depend only on their
+// arguments (and the launch they close over), never on call order or count.
+// The batch executor exploits this — it resolves a Param once per node
+// rather than once per thread, and evaluates geometry and parameter values
+// node-major rather than thread-major. AccessMem, AccessLV and Branch carry
+// the run's side effects and are always invoked in exact thread-major order
+// (all of thread t's accesses before any of thread t+1's), whichever
+// executor runs.
 type Hooks struct {
 	// Param returns scalar launch parameter i.
 	Param func(i int) uint32
@@ -58,6 +67,14 @@ type Hooks struct {
 	// is the cycle the terminator CVU delivers its batch packet, which is
 	// what timestamps the CVT enqueue trace events.
 	Branch func(tid int, cond uint32, now int64)
+	// AccessMemFast is the functional-only variant of AccessMem used by
+	// Options.Fast: same functional effect and error behaviour, no timing.
+	// When nil, the fast executor falls back to AccessMem (whose timing
+	// side effects are then meaningless but harmless — fast-mode cycle
+	// metrics are undefined either way).
+	AccessMemFast func(space Space, addr int64, write bool, value uint32, tid int) (word uint32, err error)
+	// AccessLVFast mirrors AccessMemFast for live-value accesses.
+	AccessLVFast func(lv int, tid int, write bool, value uint32) uint32
 	// TraceTrack attributes this run's engine-level trace events (node
 	// firings) to one track of Options.Trace. Zero means the sink's default
 	// track; callers running several graphs set a per-run track.
@@ -75,8 +92,23 @@ type Options struct {
 	// Trace, when non-nil, receives per-node firing events (trace.CatEngine)
 	// on the track named by Hooks.TraceTrack. A nil sink (or one whose
 	// filter excludes CatEngine) keeps the hot path allocation-free — the
-	// contract BenchmarkEngineHotPath enforces.
+	// contract BenchmarkEngineHotPath enforces. A sink that *does* enable
+	// CatEngine forces the scalar executor, which emits firing events in
+	// the reference per-thread order.
 	Trace *trace.Sink
+	// Scalar forces the reference per-thread graph walk (runThread) instead
+	// of the batched executor. The batched path is bit-exact with the
+	// scalar one — results and every cycle-level metric — which the
+	// differential suite enforces; Scalar exists as the oracle escape
+	// hatch, not a semantic knob.
+	Scalar bool
+	// Fast runs the functional-only executor: identical results and op
+	// counts, but no cycle or occupancy accounting (EndCycle == StartCycle,
+	// and the memory system's timing state is never touched). For CI
+	// crosschecks, fuzzing throughput, and functional-only sweeps. Ignored
+	// (with full timing restored) when CatEngine tracing is enabled, since
+	// firing events need cycles.
+	Fast bool
 }
 
 // ClassCounts is a dense per-unit-class counter array indexed by
@@ -122,7 +154,7 @@ type Stats struct {
 	GlobalAccesses, SharedAccesses uint64
 	// SkippedMemOps counts predicated-off memory operations (SGMF).
 	SkippedMemOps uint64
-	// NodeEndMax records, per node ID, the max completion minus injection
+	// NodeLatency records, per node ID, the max completion minus injection
 	// (per-thread latency contribution) — populated only when Profile is
 	// set in Options.
 	NodeLatency []int64
@@ -198,6 +230,20 @@ type Engine struct {
 	injNext []int64
 	vcs     []mem.Outstanding // per-replica virtual-channel occupancy
 
+	// batch-executor state (vector.go): compiled node programs keyed by
+	// placement identity (placements are immutable and cached by the
+	// machines, so the map stays small and steady-state runs hit it), the
+	// SoA operand planes, and the per-wave lane bookkeeping.
+	progs   map[*fabric.Placement]*nodeProg
+	pvals   []uint32 // [node*batchLanes+lane] value plane
+	pdone   []int64  // [node*batchLanes+lane] completion plane
+	laneTid []int
+	laneRep []int32
+	laneInj []int64
+	laneEnd []int64
+	pending []int32 // per-replica threads admitted but not yet recorded
+	pendInj []int64 // per-replica inject cycle of the first pending thread
+
 	// stats is the reusable result buffer handed out by RunVector when
 	// profiling is off (profiled runs get a fresh Stats, since callers
 	// retain those per block).
@@ -247,6 +293,22 @@ func (e *Engine) RunVectorCtx(ctx context.Context, p *fabric.Placement, threads 
 	if len(threads) == 0 {
 		return st, nil
 	}
+	// Profile buffers are sized once per run, not lazily per node visit
+	// (profiled runs get a fresh Stats, so the slices start nil).
+	if e.opt.Profile {
+		st.NodeLatency = make([]int64, nNodes)
+		st.NodeService = make([]int64, nNodes)
+		st.UnitIssues = make([]uint64, e.grid.NumUnits())
+	}
+
+	// Executor selection: CatEngine tracing pins the scalar reference walk
+	// (its per-thread order is what the firing-event stream documents);
+	// otherwise Fast takes the functional-only path and everything else the
+	// batched path, which is bit-exact with scalar.
+	traceEngine := e.opt.Trace.Enabled(trace.CatEngine)
+	if e.opt.Fast && !traceEngine {
+		return e.runFast(ctx, p, threads, startCycle, h, st)
+	}
 
 	// Reset per-run unit state (the grid is reset between blocks, §3.2).
 	// The scratch arrays keep their backing storage across runs.
@@ -282,6 +344,10 @@ func (e *Engine) RunVectorCtx(ctx context.Context, p *fabric.Placement, threads 
 	for r := range e.vcs {
 		e.injNext[r] = startCycle
 		e.vcs[r].Reset(cfg.TokenBufDepth)
+	}
+
+	if !e.opt.Scalar && !traceEngine {
+		return e.runBatched(ctx, p, threads, h, st)
 	}
 
 	for j, tid := range threads {
@@ -338,7 +404,7 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 				ready = t
 			}
 		}
-		st.TokenHops += sumHops(p.EdgeLat[r][n.ID]) + sumHops(p.CtlLat[r][n.ID])
+		st.TokenHops += p.HopSum[r][n.ID]
 		st.TokenTransfers += uint64(len(n.In) + len(n.CtlIn))
 
 		if e.opt.InOrderThreads {
@@ -401,13 +467,6 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 			})
 		}
 		if e.opt.Profile {
-			if len(st.NodeLatency) < len(g.Nodes) {
-				st.NodeLatency = make([]int64, len(g.Nodes))
-				st.NodeService = make([]int64, len(g.Nodes))
-			}
-			if len(st.UnitIssues) < e.grid.NumUnits() {
-				st.UnitIssues = make([]uint64, e.grid.NumUnits())
-			}
 			st.UnitIssues[unit]++
 			if d := done - inject; d > st.NodeLatency[n.ID] {
 				st.NodeLatency[n.ID] = d
@@ -552,10 +611,3 @@ func resize[T any](s []T, n int) []T {
 	return s[:n]
 }
 
-func sumHops(lats []int64) uint64 {
-	var s uint64
-	for _, l := range lats {
-		s += uint64(l)
-	}
-	return s
-}

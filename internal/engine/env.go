@@ -68,6 +68,35 @@ func (d *DataEnv) Hooks() *Hooks {
 			}
 			return 0, 0, fmt.Errorf("engine: unknown address space %d", space)
 		},
+		AccessMemFast: func(space Space, addr int64, write bool, value uint32, tid int) (uint32, error) {
+			// Functional twin of AccessMem: identical bounds checks, errors
+			// and data effects, no timing-model calls.
+			switch space {
+			case SpaceGlobal:
+				if addr < 0 || addr >= int64(len(d.Global)) {
+					return 0, fmt.Errorf("engine: thread %d: global %s out of bounds: %d (size %d)",
+						tid, rw(write), addr, len(d.Global))
+				}
+				if write {
+					d.Global[addr] = value
+					return 0, nil
+				}
+				return d.Global[addr], nil
+			case SpaceShared:
+				cta := d.Launch.CTAOf(tid)
+				sh := d.Shared[cta]
+				if addr < 0 || addr >= int64(len(sh)) {
+					return 0, fmt.Errorf("engine: thread %d: shared %s out of bounds: %d (size %d)",
+						tid, rw(write), addr, len(sh))
+				}
+				if write {
+					sh[addr] = value
+					return 0, nil
+				}
+				return sh[addr], nil
+			}
+			return 0, fmt.Errorf("engine: unknown address space %d", space)
+		},
 	}
 }
 

@@ -27,6 +27,11 @@ type Placement struct {
 	EdgeLat [][][]int64
 	// CtlLat[r][n][i] mirrors EdgeLat for control edges (CtlIn).
 	CtlLat [][][]int64
+	// HopSum[r][n] is the total token distance into node n of replica r —
+	// the sum of EdgeLat[r][n] and CtlLat[r][n]. Precomputed here so the
+	// engine's per-thread hop accounting is one table read instead of two
+	// edge-list walks per node visit.
+	HopSum [][]uint64
 	// AvgHops is the mean data-edge latency, a routing quality metric.
 	AvgHops float64
 }
@@ -106,6 +111,7 @@ func Place(g *Grid, graph *compile.BlockDFG, replicas int) (*Placement, error) {
 
 		edgeLat := make([][]int64, len(graph.Nodes))
 		ctlLat := make([][]int64, len(graph.Nodes))
+		hopSum := make([]uint64, len(graph.Nodes))
 		for _, n := range graph.Nodes {
 			el := make([]int64, len(n.In))
 			for i, in := range n.In {
@@ -119,9 +125,18 @@ func Place(g *Grid, graph *compile.BlockDFG, replicas int) (*Placement, error) {
 			}
 			edgeLat[n.ID] = el
 			ctlLat[n.ID] = cl
+			var hops uint64
+			for _, l := range el {
+				hops += uint64(l)
+			}
+			for _, l := range cl {
+				hops += uint64(l)
+			}
+			hopSum[n.ID] = hops
 		}
 		p.EdgeLat = append(p.EdgeLat, edgeLat)
 		p.CtlLat = append(p.CtlLat, ctlLat)
+		p.HopSum = append(p.HopSum, hopSum)
 	}
 	if totalEdges > 0 {
 		p.AvgHops = float64(totalHops) / float64(totalEdges)

@@ -38,12 +38,16 @@ func (l Launch) Validate() error {
 // Thread IDs are laid out CTA-major: consecutive IDs fill a CTA (x fastest),
 // then move to the next CTA (grid x fastest).
 func (l Launch) Geometry(op Op, tid int) uint32 {
+	if op == OpTID {
+		// The common opcode is the identity; skip the CTA div/mod entirely
+		// (integer division is the most expensive thing in this function,
+		// and TID is on the engine's per-thread hot path).
+		return uint32(tid)
+	}
 	ctaSize := l.CTASize()
 	cta := tid / ctaSize
 	local := tid % ctaSize
 	switch op {
-	case OpTID:
-		return uint32(tid)
 	case OpTIDX:
 		return uint32(local % l.BlockX)
 	case OpTIDY:

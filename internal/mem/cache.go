@@ -99,10 +99,17 @@ type Cache struct {
 	// one line (a broadcast — every thread loading the same table entry, or
 	// the words of one coalesced-range line arriving from several LDST
 	// units) merge into a single bank access, like MSHR merging in a real
-	// cache.
-	recent [][]combineEntry
+	// cache. Each ring is a fixed circular buffer scanned oldest-first —
+	// the same order as the shifting slice it replaces, without the
+	// per-access memmove.
+	recent []combineRing
 	tick   uint64
-	Stats  CacheStats
+	// setShift/bankMask are the power-of-two fast-path constants for setOf
+	// and bank selection (setShift < 0 / bankMask == 0 when the geometry is
+	// not a power of two and the generic divide path must run).
+	setShift int8
+	bankMask int64
+	Stats    CacheStats
 }
 
 type combineEntry struct {
@@ -112,11 +119,31 @@ type combineEntry struct {
 
 // combineWindow is how close (in cycles) a read must be to an in-flight
 // same-line access to piggyback on it; combineDepth is how many recent
-// accesses each bank remembers (MSHR-merge capacity).
+// accesses each bank remembers (MSHR-merge capacity; must stay a power of
+// two for the ring index mask).
 const (
 	combineWindow = 16
 	combineDepth  = 8
 )
+
+// combineRing is one bank's recent-access window: a fixed-capacity FIFO
+// whose entries are scanned oldest-first (insertion order, like the
+// reference shifting slice) and which overwrites its oldest entry when full.
+type combineRing struct {
+	e       [combineDepth]combineEntry
+	head, n int8
+}
+
+// push appends an entry, displacing the oldest when full.
+func (r *combineRing) push(line, start int64) {
+	if r.n < combineDepth {
+		r.e[(r.head+r.n)&(combineDepth-1)] = combineEntry{line: line, start: start}
+		r.n++
+		return
+	}
+	r.e[r.head] = combineEntry{line: line, start: start}
+	r.head = (r.head + 1) & (combineDepth - 1)
+}
 
 // linePool recycles cache directory slabs across runs. The experiment
 // harness builds a fresh memory system per kernel run (tens of thousands of
@@ -143,16 +170,35 @@ func NewCache(cfg CacheConfig) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	recent := make([][]combineEntry, cfg.Banks)
-	for i := range recent {
-		recent[i] = make([]combineEntry, 0, combineDepth)
-	}
 	return &Cache{
-		cfg:    cfg,
-		lines:  newLineSlab(cfg.Sets() * cfg.Ways),
-		banks:  make([]SlotAlloc, cfg.Banks),
-		recent: recent,
+		cfg:      cfg,
+		lines:    newLineSlab(cfg.Sets() * cfg.Ways),
+		banks:    make([]SlotAlloc, cfg.Banks),
+		recent:   make([]combineRing, cfg.Banks),
+		setShift: pow2Shift(int64(cfg.Sets())),
+		bankMask: pow2Mask(int64(cfg.Banks)),
 	}
+}
+
+// pow2Shift returns log2(n) if n is a positive power of two, else -1.
+func pow2Shift(n int64) int8 {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	var s int8
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+// pow2Mask returns n-1 if n is a positive power of two, else 0.
+func pow2Mask(n int64) int64 {
+	if n > 0 && n&(n-1) == 0 {
+		return n - 1
+	}
+	return 0
 }
 
 // Release returns the directory slab to the pool. The cache must not be
@@ -194,12 +240,19 @@ func (c *Cache) Access(lineAddr int64, write bool, now int64) AccessResult {
 // follow the write policy; the caller orchestrates the next level.
 func (c *Cache) AccessBanked(lineAddr, bankSel int64, write bool, now int64) AccessResult {
 	c.tick++
-	bank := int(bankSel % int64(c.cfg.Banks))
+	var bank int
+	if c.bankMask != 0 && bankSel >= 0 {
+		bank = int(bankSel & c.bankMask)
+	} else {
+		bank = int(bankSel % int64(c.cfg.Banks))
+	}
 	set := c.setOf(lineAddr)
 	var start int64
 	combined := false
+	ring := &c.recent[bank]
 	if !write || c.cfg.CombineWrites {
-		for _, e := range c.recent[bank] {
+		for k := int8(0); k < ring.n; k++ {
+			e := &ring.e[(ring.head+k)&(combineDepth-1)]
 			if e.line == lineAddr && absDiff(now, e.start) <= combineWindow {
 				// Read combining: ride the in-flight access, no bank slot.
 				start = e.start
@@ -211,12 +264,7 @@ func (c *Cache) AccessBanked(lineAddr, bankSel int64, write bool, now int64) Acc
 	}
 	if !combined {
 		start = c.banks[bank].Alloc(now)
-		r := c.recent[bank]
-		if len(r) == combineDepth {
-			copy(r, r[1:])
-			r = r[:combineDepth-1]
-		}
-		c.recent[bank] = append(r, combineEntry{line: lineAddr, start: start})
+		ring.push(lineAddr, start)
 	}
 
 	res := AccessResult{Ready: start, Writeback: -1}
@@ -279,6 +327,13 @@ func (c *Cache) AccessBanked(lineAddr, bankSel int64, write bool, now int64) Acc
 // modulo indexing suffers on struct-of-arrays layouts. GPU L1/L2 caches hash
 // their set index the same way. Tags store the full line address.
 func (c *Cache) setOf(lineAddr int64) int {
+	if c.setShift > 0 && lineAddr >= 0 {
+		// Power-of-two set count: shifts and a mask compute the identical
+		// hash (for non-negative addresses, /2^k == >>k and %2^k == &mask).
+		s := c.setShift
+		h := lineAddr ^ (lineAddr >> s) ^ (lineAddr >> (2 * s))
+		return int(h & (int64(1)<<s - 1))
+	}
 	sets := int64(c.cfg.Sets())
 	h := lineAddr ^ (lineAddr / sets) ^ (lineAddr / (sets * sets))
 	h %= sets

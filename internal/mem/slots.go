@@ -1,7 +1,5 @@
 package mem
 
-import "sort"
-
 // SlotAlloc models a fully pipelined unit that accepts one new token set per
 // cycle, with tagged-token out-of-order semantics: a request ready at cycle c
 // takes the smallest *free* cycle >= c, even if later-arriving work already
@@ -13,8 +11,16 @@ import "sort"
 // sequential, so the span list stays short. If pathological interleavings
 // fragment it, the list is compacted pessimistically (adjacent spans merge
 // across their gap), which can only over-estimate contention.
+//
+// The trailing span — the one almost every allocation extends — lives in
+// dedicated fields (tailLo, tailEnd) rather than at the end of the slice, so
+// the hot path of Alloc is small enough for the compiler to inline at the
+// engine's call sites. tailEnd is the exclusive end (hi+1); tailEnd == 0
+// doubles as "no trailing span" so the zero value is an empty allocator.
 type SlotAlloc struct {
-	spans []span
+	spans  []span // all spans except the trailing one, in order
+	tailLo int64
+	tailEnd int64
 }
 
 type span struct{ lo, hi int64 }
@@ -22,13 +28,100 @@ type span struct{ lo, hi int64 }
 // maxSpans bounds the span list; beyond it, smallest gaps are merged away.
 const maxSpans = 128
 
-// alloc claims and returns the smallest free cycle >= ready.
+// Alloc claims and returns the smallest free cycle >= ready. The body is
+// just the hottest case — extending the trailing span by one cycle, which is
+// what happens when unit ready times advance with simulated time; everything
+// else lives in allocSlow. (A genuine trailing span ending at cycle -1 also
+// has tailEnd == 0 and falls through to the slow path, which handles it
+// correctly — the fast path only needs to never extend the empty state.)
 func (a *SlotAlloc) Alloc(ready int64) int64 {
-	// Find the first span that could contain or follow `ready`.
-	i := sort.Search(len(a.spans), func(i int) bool { return a.spans[i].hi >= ready })
+	if ready == a.tailEnd && ready != 0 {
+		a.tailEnd = ready + 1
+		return ready
+	}
+	return a.allocSlow(ready)
+}
+
+// allocSlow handles everything the inline fast path does not. The two
+// common residual cases — ready past the trailing span (banks see strided
+// arrival times) and a completely empty allocator — stay O(1); only an
+// allocation at or before the trailing span runs the full span-list
+// algorithm, with the trailing span materialized into the slice around it.
+func (a *SlotAlloc) allocSlow(ready int64) int64 {
+	// Empty is exactly (0, 0): a genuine span ending at -1 (possible only
+	// with negative cycles) has a nonzero tailLo, so it is not mistaken for
+	// the empty state.
+	hasTail := a.tailEnd != 0 || a.tailLo != 0
+	if hasTail && ready > a.tailEnd {
+		// Gap past the trailing span: archive it and open a new one.
+		a.spans = append(a.spans, span{a.tailLo, a.tailEnd - 1})
+		a.tailLo, a.tailEnd = ready, ready+1
+		if len(a.spans)+1 > maxSpans {
+			a.compactAll()
+		}
+		return ready
+	}
+	if hasTail && ready >= a.tailLo {
+		// Ready inside (or abutting) the trailing span: the smallest free
+		// cycle is just past it — the tail is the last span, so nothing
+		// claimed lies beyond. This is the steady state of a warm allocator
+		// whose spans have merged into one long busy run.
+		got := a.tailEnd
+		a.tailEnd = got + 1
+		return got
+	}
+	if !hasTail {
+		// Invariant: no trailing span means no spans at all.
+		a.tailLo, a.tailEnd = ready, ready+1
+		return ready
+	}
+	a.spans = append(a.spans, span{a.tailLo, a.tailEnd - 1})
+	got := a.allocList(ready)
+	n := len(a.spans) - 1
+	a.tailLo, a.tailEnd = a.spans[n].lo, a.spans[n].hi+1
+	a.spans = a.spans[:n]
+	return got
+}
+
+// compactAll runs compact over the whole span set including the trailing
+// span.
+func (a *SlotAlloc) compactAll() {
+	a.spans = append(a.spans, span{a.tailLo, a.tailEnd - 1})
+	a.compact()
+	n := len(a.spans) - 1
+	a.tailLo, a.tailEnd = a.spans[n].lo, a.spans[n].hi+1
+	a.spans = a.spans[:n]
+}
+
+func (a *SlotAlloc) allocList(ready int64) int64 {
+	// Ready lies past every claimed cycle: open a new trailing span.
+	if n := len(a.spans); n == 0 || ready > a.spans[n-1].hi {
+		if n > 0 && a.spans[n-1].hi == ready-1 {
+			a.spans[n-1].hi = ready
+			return ready
+		}
+		a.spans = append(a.spans, span{ready, ready})
+		if len(a.spans) > maxSpans {
+			a.compact()
+		}
+		return ready
+	}
+
+	// Find the first span with hi >= ready (it exists: the last span
+	// qualifies). Plain binary search, kept closure-free.
+	lo, hi := 0, len(a.spans)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.spans[mid].hi >= ready {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 
 	start := ready
-	if i < len(a.spans) && a.spans[i].lo <= start {
+	if a.spans[i].lo <= start {
 		// ready is inside span i: the next candidate is just after it;
 		// skip across any subsequent abutting spans.
 		start = a.spans[i].hi + 1
@@ -48,7 +141,7 @@ func (a *SlotAlloc) Alloc(ready int64) int64 {
 	// `start` is free. It may abut span i-1 (hi == start-1) or span i
 	// (lo == start+1), or both.
 	touchPrev := i > 0 && a.spans[i-1].hi == start-1
-	touchNext := i < len(a.spans) && a.spans[i].lo == start+1
+	touchNext := a.spans[i].lo == start+1
 	switch {
 	case touchPrev && touchNext:
 		a.spans[i-1].hi = a.spans[i].hi
@@ -82,17 +175,32 @@ func (a *SlotAlloc) compact() {
 	a.spans = out
 }
 
-// reset clears all allocations.
-func (a *SlotAlloc) Reset() { a.spans = a.spans[:0] }
+// Reset clears all allocations.
+func (a *SlotAlloc) Reset() {
+	a.spans = a.spans[:0]
+	a.tailLo, a.tailEnd = 0, 0
+}
 
 // Outstanding models a reservation buffer: at most cap operations in flight.
 // A new operation ready at cycle c must wait until fewer than cap previously
 // issued operations are still incomplete — but, unlike a FIFO ring, a slot
 // frees as soon as *its* operation completes, so one slow miss does not
 // block the other slots (dynamic dataflow overtaking).
+//
+// In-flight completion times live in a sorted sliding window: buf[front:]
+// is nondecreasing, the minimum sits at the front, and Record inserts with a
+// stable backward shift (equal completion times keep their issue order, so
+// the pop sequence is exactly the reference (done, issue-order) order — a
+// total order, since ties break deterministically by position). Completion
+// times arrive nearly sorted (simulated time moves forward), so the shift is
+// almost always zero steps and every operation is O(1) in practice — pops
+// and retires are a single index bump, with none of a heap's data-dependent
+// branch misses. The worst case (fully reversed arrivals) degrades to the
+// O(cap) shift the reference list paid on every Admit anyway.
 type Outstanding struct {
-	cap  int
-	done []int64 // completion times of in-flight ops
+	cap   int
+	front int
+	buf   []int64
 }
 
 func NewOutstanding(capacity int) *Outstanding {
@@ -100,39 +208,91 @@ func NewOutstanding(capacity int) *Outstanding {
 }
 
 // Reset re-arms the buffer for a new run with the given capacity, keeping
-// the in-flight list's storage. This lets callers embed Outstanding by value
-// in reusable scratch arrays (the engine's per-unit pools) so steady-state
-// runs allocate nothing.
+// the window's storage. This lets callers embed Outstanding by value in
+// reusable scratch arrays (the engine's per-unit pools) so steady-state runs
+// allocate nothing.
 func (o *Outstanding) Reset(capacity int) {
 	o.cap = capacity
-	o.done = o.done[:0]
+	o.buf = o.buf[:0]
+	o.front = 0
 }
 
-// admit returns the earliest cycle >= ready at which a slot is available,
-// retiring completed operations as time advances.
+// Admit returns the earliest cycle >= ready at which a slot is available,
+// retiring completed operations as time advances. The body is the
+// inline-friendly fast path: a free slot and nothing to retire (the window
+// minimum still in flight at `ready` means Retire would be a no-op).
+// The unsigned compare folds "0 < len < cap" into one branch; it requires a
+// positive capacity, which every caller has (the fabric and memory configs
+// validate theirs, and a zero-capacity buffer is useless — Admit would
+// serialize on an empty window).
 func (o *Outstanding) Admit(ready int64) int64 {
-	// Retire everything that completes by `ready`.
-	live := o.done[:0]
-	for _, d := range o.done {
-		if d > ready {
-			live = append(live, d)
-		}
-	}
-	o.done = live
-	if len(o.done) < o.cap {
+	b, f := o.buf, o.front
+	if uint(len(b)-f-1) < uint(o.cap-1) && b[f] > ready {
 		return ready
 	}
-	// Full: wait for the earliest completion.
-	minIdx := 0
-	for i, d := range o.done {
-		if d < o.done[minIdx] {
-			minIdx = i
-		}
-	}
-	start := o.done[minIdx]
-	o.done = append(o.done[:minIdx], o.done[minIdx+1:]...)
-	return start
+	return o.admitSlow(ready)
 }
 
-// record notes a newly issued operation's completion time.
-func (o *Outstanding) Record(done int64) { o.done = append(o.done, done) }
+func (o *Outstanding) admitSlow(ready int64) int64 {
+	o.Retire(ready)
+	if len(o.buf)-o.front < o.cap {
+		return ready
+	}
+	// Full: wait for the earliest completion (ties broken by issue order).
+	return o.PopMin()
+}
+
+// Record notes a newly issued operation's completion time, inserting it from
+// the back of the sorted window. The shift condition is strictly-greater, so
+// equal completion times land after earlier ones — issue order, preserved
+// without storing it.
+func (o *Outstanding) Record(done int64) {
+	b := append(o.buf, done)
+	i := len(b) - 1
+	for i > o.front && b[i-1] > done {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = done
+	o.buf = b
+}
+
+// Retire drops every in-flight operation that completes by `ready`. Admit
+// does this implicitly; the engine's batch executor calls it directly while
+// deciding wave admission.
+func (o *Outstanding) Retire(ready int64) {
+	f := o.front
+	b := o.buf
+	for f < len(b) && b[f] <= ready {
+		f++
+	}
+	o.front = f
+	o.shrink()
+}
+
+// Len is the number of operations still in flight.
+func (o *Outstanding) Len() int { return len(o.buf) - o.front }
+
+// Min returns the earliest in-flight completion time; the buffer must be
+// non-empty.
+func (o *Outstanding) Min() int64 { return o.buf[o.front] }
+
+// PopMin removes and returns the earliest in-flight completion time (ties
+// broken by issue order); the buffer must be non-empty.
+func (o *Outstanding) PopMin() int64 {
+	v := o.buf[o.front]
+	o.front++
+	o.shrink()
+	return v
+}
+
+// shrink reclaims the retired prefix once it reaches the window capacity, so
+// buf never grows past live + cap elements: each retired slot is copied down
+// at most once before the next compaction, keeping Retire amortized O(1).
+func (o *Outstanding) shrink() {
+	if o.front >= o.cap {
+		n := copy(o.buf, o.buf[o.front:])
+		o.buf = o.buf[:n]
+		o.front = 0
+	}
+}

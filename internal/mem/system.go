@@ -114,6 +114,10 @@ type System struct {
 	DRAM        *DRAM
 	mshrs       *Outstanding
 	sharedBanks []SlotAlloc
+	// lineShift is the power-of-two fast path for word→line address
+	// translation in AccessWord (negative when the geometry is not a power
+	// of two and the generic multiply/divide must run).
+	lineShift int8
 }
 
 // NewSystem builds a memory system from the configuration.
@@ -130,6 +134,10 @@ func NewSystem(cfg Config) *System {
 	if cfg.L1MSHRs <= 0 {
 		cfg.L1MSHRs = 32
 	}
+	lineShift := int8(-1)
+	if cfg.L1.LineBytes%cfg.WordBytes == 0 {
+		lineShift = pow2Shift(int64(cfg.L1.LineBytes / cfg.WordBytes))
+	}
 	return &System{
 		cfg:         cfg,
 		L1:          NewCache(cfg.L1),
@@ -137,6 +145,7 @@ func NewSystem(cfg Config) *System {
 		DRAM:        NewDRAM(cfg.DRAM),
 		mshrs:       NewOutstanding(cfg.L1MSHRs),
 		sharedBanks: make([]SlotAlloc, cfg.SharedBanks),
+		lineShift:   lineShift,
 	}
 }
 
@@ -160,7 +169,12 @@ func (s *System) Release() {
 // completion cycle. Write-through L1s forward writes to the L2 immediately;
 // write-back L1s absorb them and emit writebacks on eviction.
 func (s *System) AccessWord(wordAddr int64, write bool, now int64) int64 {
-	lineAddr := (wordAddr * int64(s.cfg.WordBytes)) / int64(s.cfg.L1.LineBytes)
+	var lineAddr int64
+	if s.lineShift >= 0 && wordAddr >= 0 {
+		lineAddr = wordAddr >> s.lineShift
+	} else {
+		lineAddr = (wordAddr * int64(s.cfg.WordBytes)) / int64(s.cfg.L1.LineBytes)
+	}
 	// Word-interleaved banking: word-granular requests from different
 	// units to the same line land on different banks.
 	return s.access(lineAddr, wordAddr, write, now)

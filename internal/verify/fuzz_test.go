@@ -1,11 +1,14 @@
 package verify_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"vgiw/internal/compile"
+	"vgiw/internal/core"
 	"vgiw/internal/kasm"
 	"vgiw/internal/kir"
 	"vgiw/internal/verify"
@@ -20,7 +23,12 @@ import (
 //     loops — are fine; panics are bugs in either the verifier's rules or
 //     the interpreter);
 //  3. nor may it panic the compiler pipeline, whose Checked mode re-runs
-//     the verifier after every pass.
+//     the verifier after every pass;
+//  4. when the interpreter runs the kernel to completion, the VGIW machine
+//     in fast (functional-only) engine mode must produce the same final
+//     global memory — a differential oracle between the reference
+//     interpreter and the batched executor's fast path, on fuzzer-shaped
+//     kernels rather than the curated registry.
 //
 // This test package is external (verify_test) so it can import compile,
 // which itself depends on verify.
@@ -56,18 +64,53 @@ func FuzzKasmVerify(f *testing.F) {
 			return
 		}
 		params := make([]uint32, k.NumParams)
+		launch := kir.Launch1D(1, 4, params...)
 		in := &kir.Interp{
 			Kernel:   k,
-			Launch:   kir.Launch1D(1, 4, params...),
+			Launch:   launch,
 			Global:   make([]uint32, 64),
 			MaxSteps: 1 << 12,
 		}
-		_ = in.Run() // errors allowed, panics are not
+		interpErr := in.Run() // errors allowed, panics are not
 
 		kk := k.Clone()
 		if _, err := compile.ScheduleBlocks(kk); err != nil {
 			return
 		}
 		_, _ = compile.Compile(kk, compile.Checked())
+
+		if interpErr != nil {
+			return
+		}
+		// The interpreter ran clean and within its step bound, so the kernel
+		// terminates: run it through the machine's fast engine and demand the
+		// same memory image. A compile/fit rejection is fine (the fabric is
+		// finite); a timeout means the machine diverged where the interpreter
+		// halted, which the deadline converts into a failure below.
+		cfg := core.DefaultConfig()
+		cfg.Engine.Fast = true
+		m, err := core.NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("machine: %v", err)
+		}
+		ck, err := m.Compile(k.Clone())
+		if err != nil {
+			return
+		}
+		prep, err := m.Prepare(ck)
+		if err != nil {
+			return
+		}
+		global := make([]uint32, 64)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := m.RunPreparedCtx(ctx, prep, launch, global); err != nil {
+			t.Fatalf("fast machine failed where the interpreter succeeded: %v", err)
+		}
+		for i := range global {
+			if global[i] != in.Global[i] {
+				t.Fatalf("fast machine global[%d] = %#x, interpreter has %#x", i, global[i], in.Global[i])
+			}
+		}
 	})
 }
