@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"strconv"
@@ -101,7 +102,7 @@ func main() {
 			results[i].Date = date
 			results[i].Note = *note
 			if *threads > 0 {
-				results[i].ThreadsPerSec = float64(*threads) * 1e9 / results[i].NsPerOp
+				results[i].ThreadsPerSec = math.Round(float64(*threads) * 1e9 / results[i].NsPerOp)
 			}
 		}
 		traj.Schema = schema
