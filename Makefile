@@ -48,9 +48,15 @@ race:
 # fails — wall-clock numbers are too noisy for a hard gate) when ns/op
 # regresses >10% against the last entry recorded in BENCH_engine.json.
 ENGINE_BENCH = BenchmarkEngineHotPath|BenchmarkEngineVector|BenchmarkEngineFast
+# The memory-model microbenchmarks (AccessWord vs AccessVector across bank
+# counts and conflict rates) ride the same trajectory file; -threads 0 skips
+# the threads/sec derivation, which only makes sense for the engine scenarios.
+MEM_BENCH = BenchmarkMemAccessWord|BenchmarkMemAccessVector
 bench:
 	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime 100x ./internal/engine/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -check
+	$(GO) test -run '^$$' -bench '$(MEM_BENCH)' -benchtime 2000x ./internal/mem/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 0 -check
 	$(GO) test -run '^$$' -bench BenchmarkRunAllParallel -benchtime 1x ./internal/bench/
 	$(GO) test -run '^$$' -bench BenchmarkSuiteColdVsWarm -benchtime 1x ./internal/bench/
 
@@ -60,6 +66,8 @@ bench:
 bench-record:
 	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -record
+	$(GO) test -run '^$$' -bench '$(MEM_BENCH)' -benchtime 20000x -count 3 ./internal/mem/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 0 -record
 
 # trace-check runs one small kernel on all three backends with tracing on,
 # validates the Chrome trace-event export, and diffs the metric-name schema

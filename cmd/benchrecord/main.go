@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/exec"
@@ -69,6 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchrecord: no benchmark lines on stdin")
 		return
 	}
+	stripUniformSuffix(results)
 
 	// Repeated runs of one benchmark (go test -count N) collapse to the
 	// minimum ns/op: the run least disturbed by machine noise.
@@ -116,10 +118,9 @@ func main() {
 }
 
 // parseStream echoes stdin to out while collecting benchmark result lines of
-// the standard form "BenchmarkName-8   100   12345 ns/op [...]". The
-// GOMAXPROCS suffix is stripped so trajectory names stay stable across
-// machines.
-func parseStream(in *os.File, out *os.File) []entry {
+// the standard form "BenchmarkName-8   100   12345 ns/op [...]". Names are
+// kept verbatim here; stripUniformSuffix handles the GOMAXPROCS suffix.
+func parseStream(in io.Reader, out io.Writer) []entry {
 	var results []entry
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -136,15 +137,42 @@ func parseStream(in *os.File, out *os.File) []entry {
 		if err != nil {
 			continue
 		}
-		name := f[0]
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		results = append(results, entry{Bench: name, NsPerOp: ns})
+		results = append(results, entry{Bench: f[0], NsPerOp: ns})
 	}
 	return results
+}
+
+// stripUniformSuffix removes the GOMAXPROCS "-N" suffix from benchmark names,
+// so trajectory names stay stable across machines — but only when every
+// benchmark in the stream carries the same numeric suffix, which is the
+// signature of go test's procs decoration. On GOMAXPROCS=1 machines go test
+// appends no suffix at all, and sub-benchmark labels that legitimately end in
+// digits ("banks-32") would otherwise be corrupted into another series'
+// name; a stream whose trailing numbers differ can only be such labels, and
+// is left untouched. (The one remaining ambiguity — a stream where every
+// label coincidentally ends in the same number and GOMAXPROCS is 1 — is
+// avoided by benchmarking more than one series per run, as the Makefile
+// targets do.)
+func stripUniformSuffix(results []entry) {
+	sfx := ""
+	for i, r := range results {
+		j := strings.LastIndexByte(r.Bench, '-')
+		if j <= 0 {
+			return
+		}
+		d := r.Bench[j+1:]
+		if _, err := strconv.Atoi(d); err != nil {
+			return
+		}
+		if i == 0 {
+			sfx = d
+		} else if d != sfx {
+			return
+		}
+	}
+	for i := range results {
+		results[i].Bench = results[i].Bench[:strings.LastIndexByte(results[i].Bench, '-')]
+	}
 }
 
 // collapseMin keeps one result per benchmark name — the fastest — preserving

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, stream string) []entry {
+	t.Helper()
+	return parseStream(strings.NewReader(stream), io.Discard)
+}
+
+// TestStripUniformSuffix pins the GOMAXPROCS-suffix heuristic: a uniform
+// numeric suffix across the stream is procs decoration and comes off; mixed
+// trailing numbers are real sub-benchmark labels (bank counts, conflict
+// rates) and must survive — the regression was GOMAXPROCS=1 machines, where
+// go test appends no suffix and "banks-32" was silently collapsed into the
+// "banks" series.
+func TestStripUniformSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		stream string
+		want   []string
+	}{
+		{
+			"uniform procs suffix stripped",
+			"BenchmarkEngineHotPath/no-sink-8 100 98000 ns/op\n" +
+				"BenchmarkEngineHotPath/vec-8 100 55000 ns/op\n",
+			[]string{"BenchmarkEngineHotPath/no-sink", "BenchmarkEngineHotPath/vec"},
+		},
+		{
+			"mixed digit labels kept (GOMAXPROCS=1)",
+			"BenchmarkMemAccessVector/banks-32 100 1000 ns/op\n" +
+				"BenchmarkMemAccessVector/banks-8 100 1200 ns/op\n",
+			[]string{"BenchmarkMemAccessVector/banks-32", "BenchmarkMemAccessVector/banks-8"},
+		},
+		{
+			"digit labels with procs suffix: only procs stripped",
+			"BenchmarkMemAccessVector/banks-32-4 100 1000 ns/op\n" +
+				"BenchmarkMemAccessVector/banks-8-4 100 1200 ns/op\n",
+			[]string{"BenchmarkMemAccessVector/banks-32", "BenchmarkMemAccessVector/banks-8"},
+		},
+		{
+			"no suffix at all untouched",
+			"BenchmarkEngineFast 100 9000 ns/op\n",
+			[]string{"BenchmarkEngineFast"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			results := parse(t, tc.stream)
+			stripUniformSuffix(results)
+			if len(results) != len(tc.want) {
+				t.Fatalf("parsed %d results, want %d", len(results), len(tc.want))
+			}
+			for i, w := range tc.want {
+				if results[i].Bench != w {
+					t.Errorf("result %d: name %q, want %q", i, results[i].Bench, w)
+				}
+			}
+		})
+	}
+}
+
+// TestLatestFiltersByName pins the -check lookup: a new benchmark series must
+// be compared against its own history, never an unrelated series' last entry.
+func TestLatestFiltersByName(t *testing.T) {
+	traj := trajectory{Entries: []entry{
+		{Bench: "BenchmarkA", NsPerOp: 100},
+		{Bench: "BenchmarkB", NsPerOp: 900},
+		{Bench: "BenchmarkA", NsPerOp: 90},
+	}}
+	got, ok := latest(traj, "BenchmarkA")
+	if !ok || got.NsPerOp != 90 {
+		t.Fatalf("latest(BenchmarkA) = %+v, %v; want ns=90", got, ok)
+	}
+	if _, ok := latest(traj, "BenchmarkC"); ok {
+		t.Fatal("latest(BenchmarkC) found an entry, want none")
+	}
+}
+
+func TestCollapseMin(t *testing.T) {
+	out := collapseMin([]entry{
+		{Bench: "A", NsPerOp: 120},
+		{Bench: "B", NsPerOp: 300},
+		{Bench: "A", NsPerOp: 100},
+	})
+	if len(out) != 2 || out[0].Bench != "A" || out[0].NsPerOp != 100 || out[1].NsPerOp != 300 {
+		t.Fatalf("collapseMin = %+v", out)
+	}
+}

@@ -48,7 +48,11 @@ const (
 // node-major rather than thread-major. AccessMem, AccessLV and Branch carry
 // the run's side effects and are always invoked in exact thread-major order
 // (all of thread t's accesses before any of thread t+1's), whichever
-// executor runs.
+// executor runs. The vector hooks preserve that contract in batched form:
+// when AccessMemVector/AccessLVVector are non-nil the batch executor may
+// replace a run of per-element calls with one vector call whose element
+// planes are those same threads in the same order, and the vector
+// implementation must be observably identical to the per-element loop.
 type Hooks struct {
 	// Param returns scalar launch parameter i.
 	Param func(i int) uint32
@@ -62,6 +66,21 @@ type Hooks struct {
 	// AccessLV reads or writes live value lv for a thread through the LVC.
 	// Unused by SGMF graphs (which have no LV nodes).
 	AccessLV func(lv int, tid int, write bool, value uint32, now int64) (word uint32, done int64)
+	// AccessMemVector settles one memory node's accesses for a whole wave
+	// chunk in a single call: parallel element planes of address, store
+	// value, thread id and issue cycle go in; loaded words and completion
+	// cycles come back in words/dones. The implementation must be exactly
+	// equivalent to calling AccessMem once per element in order — same
+	// functional effects, same timing-model state, same first failing
+	// element on errors (mem.System.AccessVector provides the timing leg).
+	// When nil, the batch executor falls back to the per-element AccessMem
+	// walk, so SIMT/SGMF environments and third-party hooks keep working
+	// unchanged.
+	AccessMemVector func(space Space, addrs []int64, store bool, values []uint32, tids []int, issues []int64, words []uint32, dones []int64) error
+	// AccessLVVector is AccessMemVector's live-value twin: one LV node's
+	// accesses for a whole wave in a single call, exactly equivalent to the
+	// per-element AccessLV walk. When nil, the per-element walk runs.
+	AccessLVVector func(lv int, tids []int, store bool, values []uint32, issues []int64, words []uint32, dones []int64)
 	// Branch reports a thread's terminator outcome so the caller can update
 	// the control vector table. cond is meaningful only for TermBranch; now
 	// is the cycle the terminator CVU delivers its batch packet, which is
@@ -243,6 +262,21 @@ type Engine struct {
 	laneEnd []int64
 	pending []int32 // per-replica threads admitted but not yet recorded
 	pendInj []int64 // per-replica inject cycle of the first pending thread
+	repCnt  []int64 // per-replica lane count of the current wave (collapsed profile)
+
+	// wave-vector batch planes (execDynWaveVec): gathered element planes
+	// for the single stateful node's chunked AccessMemVector/AccessLVVector
+	// calls, plus the per-lane ready cache and per-replica chunk bookkeeping.
+	vAddr  []int64
+	vVal   []uint32
+	vTid   []int
+	vIssue []int64
+	vWord  []uint32
+	vDone  []int64
+	vLane  []int32
+	vReady []int64 // per lane: the stateful node's ready cycle
+	vMax   []int64 // per replica: running max ready in the open chunk
+	vPend  []int32 // per replica: unsettled chunk members
 
 	// stats is the reusable result buffer handed out by RunVector when
 	// profiling is off (profiled runs get a fresh Stats, since callers

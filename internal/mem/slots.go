@@ -21,6 +21,17 @@ type SlotAlloc struct {
 	spans  []span // all spans except the trailing one, in order
 	tailLo int64
 	tailEnd int64
+	// hint/hint2 remember where the two most recent distinct before-tail
+	// allocations landed. A stream of rising ready times revisits the same
+	// (large, merged) span many times before moving on, and a bank typically
+	// serves two interleaved streams probing two distant regions (e.g. a load
+	// stream inside the long-merged past and a store stream in the recently
+	// archived suffix), so checking both recent positions almost always
+	// replaces the binary search. Purely accelerators: validity is re-checked
+	// on every use, so a stale hint costs one failed check, never a wrong
+	// slot.
+	hint  int
+	hint2 int
 }
 
 type span struct{ lo, hi int64 }
@@ -44,9 +55,13 @@ func (a *SlotAlloc) Alloc(ready int64) int64 {
 
 // allocSlow handles everything the inline fast path does not. The two
 // common residual cases — ready past the trailing span (banks see strided
-// arrival times) and a completely empty allocator — stay O(1); only an
-// allocation at or before the trailing span runs the full span-list
-// algorithm, with the trailing span materialized into the slice around it.
+// arrival times) and a completely empty allocator — stay O(1). An allocation
+// before the trailing span runs allocBefore on the archived span list with
+// the tail kept in its dedicated fields: banks that see two interleaved
+// arrival streams (one ahead of the other, e.g. loads trailing the store
+// stream that owns the tail) land past every archived span, which
+// allocBefore resolves with one O(1) comparison instead of materializing the
+// tail into the slice and searching around it.
 func (a *SlotAlloc) allocSlow(ready int64) int64 {
 	// Empty is exactly (0, 0): a genuine span ending at -1 (possible only
 	// with negative cycles) has a nonzero tailLo, so it is not mistaken for
@@ -75,12 +90,7 @@ func (a *SlotAlloc) allocSlow(ready int64) int64 {
 		a.tailLo, a.tailEnd = ready, ready+1
 		return ready
 	}
-	a.spans = append(a.spans, span{a.tailLo, a.tailEnd - 1})
-	got := a.allocList(ready)
-	n := len(a.spans) - 1
-	a.tailLo, a.tailEnd = a.spans[n].lo, a.spans[n].hi+1
-	a.spans = a.spans[:n]
-	return got
+	return a.allocBefore(ready)
 }
 
 // compactAll runs compact over the whole span set including the trailing
@@ -93,47 +103,84 @@ func (a *SlotAlloc) compactAll() {
 	a.spans = a.spans[:n]
 }
 
-func (a *SlotAlloc) allocList(ready int64) int64 {
-	// Ready lies past every claimed cycle: open a new trailing span.
-	if n := len(a.spans); n == 0 || ready > a.spans[n-1].hi {
-		if n > 0 && a.spans[n-1].hi == ready-1 {
+// allocBefore claims the smallest free cycle >= ready when ready lies
+// strictly before the trailing span (so the result never lands inside the
+// tail: archived spans are separated from it by at least one free cycle).
+// The span list plus the tail fields always describe the same claimed set
+// the old materialize-search-restore algorithm kept, in the same canonical
+// sorted disjoint form, so allocation results are bit-identical — only the
+// bookkeeping cost changed.
+func (a *SlotAlloc) allocBefore(ready int64) int64 {
+	n := len(a.spans)
+	// Ready past every archived span: the gap between the archived spans and
+	// the trailing span is free. This is the hot case for banks serving two
+	// interleaved arrival streams and costs one comparison.
+	if n == 0 || ready > a.spans[n-1].hi {
+		touchPrev := n > 0 && a.spans[n-1].hi == ready-1
+		touchTail := a.tailLo == ready+1
+		switch {
+		case touchPrev && touchTail:
+			a.tailLo = a.spans[n-1].lo
+			a.spans = a.spans[:n-1]
+		case touchPrev:
 			a.spans[n-1].hi = ready
-			return ready
-		}
-		a.spans = append(a.spans, span{ready, ready})
-		if len(a.spans) > maxSpans {
-			a.compact()
+		case touchTail:
+			a.tailLo = ready
+		default:
+			a.spans = append(a.spans, span{ready, ready})
+			if len(a.spans)+1 > maxSpans {
+				a.compactAll()
+			}
 		}
 		return ready
 	}
 
 	// Find the first span with hi >= ready (it exists: the last span
-	// qualifies). Plain binary search, kept closure-free.
-	lo, hi := 0, len(a.spans)-1
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if a.spans[mid].hi >= ready {
-			hi = mid
-		} else {
-			lo = mid + 1
+	// qualifies). The hint checks match the search's postcondition exactly —
+	// spans[i].hi >= ready and either i == 0 or spans[i-1].hi < ready — so
+	// hint hits and misses produce the same index. Miss on both recent
+	// positions: plain binary search, kept closure-free.
+	i := a.hint
+	if !(i < n && a.spans[i].hi >= ready && (i == 0 || a.spans[i-1].hi < ready)) {
+		i = a.hint2
+		if !(i < n && a.spans[i].hi >= ready && (i == 0 || a.spans[i-1].hi < ready)) {
+			lo, hi := 0, n-1
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if a.spans[mid].hi >= ready {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			i = lo
 		}
 	}
-	i := lo
+	if i != a.hint {
+		a.hint2 = a.hint
+		a.hint = i
+	}
 
 	start := ready
 	if a.spans[i].lo <= start {
 		// ready is inside span i: the next candidate is just after it;
-		// skip across any subsequent abutting spans.
+		// skip across any subsequent abutting spans (defensive — archived
+		// spans keep a free cycle between neighbours).
 		start = a.spans[i].hi + 1
-		for i+1 < len(a.spans) && a.spans[i+1].lo <= start {
+		for i+1 < n && a.spans[i+1].lo <= start {
 			i++
 			start = a.spans[i].hi + 1
 		}
-		// Extend span i and merge with its successor if they now touch.
+		// Extend span i and merge with its successor — or with the trailing
+		// span — if they now touch.
 		a.spans[i].hi = start
-		if i+1 < len(a.spans) && a.spans[i+1].lo == start+1 {
+		switch {
+		case i+1 < n && a.spans[i+1].lo == start+1:
 			a.spans[i].hi = a.spans[i+1].hi
 			a.spans = append(a.spans[:i+1], a.spans[i+2:]...)
+		case i+1 == n && a.tailLo == start+1:
+			a.tailLo = a.spans[i].lo
+			a.spans = a.spans[:i]
 		}
 		return start
 	}
@@ -154,9 +201,9 @@ func (a *SlotAlloc) allocList(ready int64) int64 {
 		a.spans = append(a.spans, span{})
 		copy(a.spans[i+1:], a.spans[i:])
 		a.spans[i] = span{start, start}
-	}
-	if len(a.spans) > maxSpans {
-		a.compact()
+		if len(a.spans)+1 > maxSpans {
+			a.compactAll()
+		}
 	}
 	return start
 }
@@ -179,6 +226,7 @@ func (a *SlotAlloc) compact() {
 func (a *SlotAlloc) Reset() {
 	a.spans = a.spans[:0]
 	a.tailLo, a.tailEnd = 0, 0
+	a.hint = 0
 }
 
 // Outstanding models a reservation buffer: at most cap operations in flight.
@@ -242,18 +290,29 @@ func (o *Outstanding) admitSlow(ready int64) int64 {
 	return o.PopMin()
 }
 
-// Record notes a newly issued operation's completion time, inserting it from
-// the back of the sorted window. The shift condition is strictly-greater, so
-// equal completion times land after earlier ones — issue order, preserved
-// without storing it.
+// Record notes a newly issued operation's completion time, keeping the
+// window sorted. Completion times usually arrive in order — then this is a
+// plain append — and an out-of-order arrival finds its slot by binary search
+// for the first strictly-greater entry, so equal completion times land after
+// earlier ones: issue order, preserved without storing it. The displaced
+// suffix moves with one copy instead of an element-by-element shift, which
+// matters when completion times interleave across banks with different
+// backlogs and the insertion point is deep inside the window.
 func (o *Outstanding) Record(done int64) {
 	b := append(o.buf, done)
-	i := len(b) - 1
-	for i > o.front && b[i-1] > done {
-		b[i] = b[i-1]
-		i--
+	if i := len(b) - 1; i > o.front && b[i-1] > done {
+		lo, hi := o.front, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid] <= done {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(b[lo+1:], b[lo:i])
+		b[lo] = done
 	}
-	b[i] = done
 	o.buf = b
 }
 
@@ -272,6 +331,26 @@ func (o *Outstanding) Retire(ready int64) {
 
 // Len is the number of operations still in flight.
 func (o *Outstanding) Len() int { return len(o.buf) - o.front }
+
+// LenAfter returns how many operations would remain in flight after retiring
+// every completion <= ready, without mutating the window. The batch executor
+// uses it to prove, before settling a wave's memory accesses in one vector
+// call, that every Admit in the chunk would have been a passthrough.
+func (o *Outstanding) LenAfter(ready int64) int {
+	lo, hi := o.front, len(o.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o.buf[mid] <= ready {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return len(o.buf) - lo
+}
+
+// Cap returns the window capacity.
+func (o *Outstanding) Cap() int { return o.cap }
 
 // Min returns the earliest in-flight completion time; the buffer must be
 // non-empty.

@@ -1,0 +1,240 @@
+package mem
+
+// vector.go is the wave-level batch entry into the memory-timing model: one
+// call settles a whole vector of word accesses while reproducing, byte for
+// byte, the state and results of the equivalent sequential AccessWord loop.
+//
+// The equivalence rests on a three-pass decomposition of AccessBanked + the
+// downstream walk, justified by state disjointness:
+//
+//   Pass A (original order)  — cache directory: tick, hit/miss, LRU update,
+//     victim choice, fill, and the hit/miss statistics. The directory never
+//     reads bank-slot or ring state, and its own evolution depends only on
+//     the element order, so walking it first for the whole batch leaves it
+//     in exactly the serial loop's state.
+//   Pass B (bank-sorted)     — per-bank combine ring + SlotAlloc settlement.
+//     Ring and slot state are private to a bank, and a stable sort keeps
+//     each bank's elements in original relative order, so every element's
+//     accepted cycle (and every ring/slot mutation) matches the serial loop.
+//   Pass C (original order)  — downstream traffic: L2, DRAM and the L1 MSHR
+//     window, which are shared across banks and order-sensitive, walked in
+//     element order exactly as the serial loop interleaves them.
+//
+// The passes commute with each other because they touch disjoint state: A
+// only the directory, B only per-bank rings/slots, C only L2/DRAM/MSHRs.
+// Within each pass the serial loop's per-element order (total order for A
+// and C, per-bank relative order for B) is preserved, so the composition is
+// exact for any batch and any per-element issue times. The property test
+// (vector_test.go) enforces this against the serial loop directly.
+
+// AccessBankedVector performs the timing access for a batch of lines with
+// explicit per-element bank selectors, equivalent to calling AccessBanked
+// once per element in order. Results land in out (len(out) == len(lineAddrs));
+// all slices must be the same length. Scratch is reused across calls, so
+// steady-state batches allocate nothing.
+//
+//vgiw:hotpath
+func (c *Cache) AccessBankedVector(lineAddrs, bankSels []int64, writes []bool, nows []int64, out []AccessResult) {
+	n := len(lineAddrs)
+	if cap(c.vbank) < n {
+		c.vbank = make([]int32, n+n/2+8)
+		c.vperm = make([]int32, n+n/2+8)
+	}
+	if len(c.vcnt) != c.cfg.Banks+1 {
+		c.vcnt = make([]int32, c.cfg.Banks+1)
+	}
+	bankOf := c.vbank[:n]
+	cnt := c.vcnt
+	clear(cnt)
+
+	// Pass A — original order: bank binning plus the directory walk of
+	// AccessBanked (tick, hit/miss stats, LRU touch, victim/fill). Keep this
+	// block in lockstep with AccessBanked; the property test enforces it.
+	for i := 0; i < n; i++ {
+		c.tick++
+		sel := bankSels[i]
+		var bank int
+		if c.bankMask != 0 && sel >= 0 {
+			bank = int(sel & c.bankMask)
+		} else {
+			bank = int(sel % int64(c.cfg.Banks))
+		}
+		bankOf[i] = int32(bank)
+		cnt[bank+1]++
+
+		la := lineAddrs[i]
+		write := writes[i]
+		if write {
+			c.Stats.Writes++
+		} else {
+			c.Stats.Reads++
+		}
+		res := AccessResult{Writeback: -1}
+		set := c.setOf(la)
+		ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+		hit := false
+		for j := range ways {
+			if ways[j].valid && ways[j].tag == la {
+				hit = true
+				ways[j].lru = c.tick
+				if write && c.cfg.Policy == WriteBack {
+					ways[j].dirty = true
+				}
+				break
+			}
+		}
+		if hit {
+			res.Hit = true
+			out[i] = res
+			continue
+		}
+		if write {
+			c.Stats.WriteMiss++
+			if c.cfg.Policy == WriteThrough {
+				// no-allocate: the write just goes to the next level.
+				out[i] = res
+				continue
+			}
+		} else {
+			c.Stats.ReadMiss++
+		}
+		victim := 0
+		for j := range ways {
+			if !ways[j].valid {
+				victim = j
+				break
+			}
+			if ways[j].lru < ways[victim].lru {
+				victim = j
+			}
+		}
+		v := &ways[victim]
+		if v.valid {
+			res.Evicted = true
+			if v.dirty {
+				c.Stats.Writebacks++
+				res.Writeback = v.tag
+			}
+		}
+		c.Stats.Fills++
+		*v = line{tag: la, valid: true, dirty: write && c.cfg.Policy == WriteBack, lru: c.tick}
+		out[i] = res
+	}
+
+	// Pass B — per-bank combine ring + SlotAlloc settlement. Exactness needs
+	// only each bank's elements in original relative order, which ANY stable
+	// grouping satisfies — including the original order itself. The stable
+	// counting sort exists purely to amortize bank pointer, ring and slot
+	// loads over each bank's whole group, so it engages only when some bank
+	// sees enough elements to pay for the permutation (conflict-heavy
+	// batches); low-conflict batches walk in original order at exactly the
+	// serial loop's cost.
+	maxCnt := int32(0)
+	for b := 1; b < len(cnt); b++ {
+		if cnt[b] > maxCnt {
+			maxCnt = cnt[b]
+		}
+	}
+	perm := c.vperm[:n]
+	sorted := maxCnt >= 3
+	if sorted {
+		for b := 1; b < len(cnt); b++ {
+			cnt[b] += cnt[b-1]
+		}
+		for i := 0; i < n; i++ {
+			b := bankOf[i]
+			perm[cnt[b]] = int32(i)
+			cnt[b]++
+		}
+	}
+	var ring *combineRing
+	var slot *SlotAlloc
+	curBank := int32(-1)
+	for k := 0; k < n; k++ {
+		i := k
+		if sorted {
+			i = int(perm[k])
+		}
+		if b := bankOf[i]; b != curBank {
+			curBank = b
+			ring = &c.recent[b]
+			slot = &c.banks[b]
+		}
+		la := lineAddrs[i]
+		now := nows[i]
+		var start int64
+		combined := false
+		if !writes[i] || c.cfg.CombineWrites {
+			for q := int8(0); q < ring.n; q++ {
+				e := &ring.e[(ring.head+q)&(combineDepth-1)]
+				if e.line == la && absDiff(now, e.start) <= combineWindow {
+					start = e.start
+					combined = true
+					c.Stats.Combined++
+					break
+				}
+			}
+		}
+		if !combined {
+			start = slot.Alloc(now)
+			ring.push(la, start)
+		}
+		out[i].Ready = start
+	}
+}
+
+// AccessVector performs a batch of global-memory word accesses, equivalent
+// to calling AccessWord once per element in order: dones[i] is element i's
+// completion cycle given issue at issues[i]. All slices must share a length.
+// Per-element write flags let mixed batches (and the property test) use the
+// same entry; the engine's per-node batches are uniform. Scratch lives in
+// the System and is reused, so steady-state batches allocate nothing.
+//
+//vgiw:hotpath
+func (s *System) AccessVector(addrs []int64, writes []bool, issues, dones []int64) {
+	n := len(addrs)
+	if cap(s.vline) < n {
+		s.vline = make([]int64, n+n/2+8)
+		s.vres = make([]AccessResult, n+n/2+8)
+	}
+	lines := s.vline[:n]
+	for i, a := range addrs {
+		if s.lineShift >= 0 && a >= 0 {
+			lines[i] = a >> s.lineShift
+		} else {
+			lines[i] = (a * int64(s.cfg.WordBytes)) / int64(s.cfg.L1.LineBytes)
+		}
+	}
+	res := s.vres[:n]
+	s.L1.AccessBankedVector(lines, addrs, writes, issues, res)
+
+	// Pass C — downstream traffic in original order: writebacks, fills and
+	// load misses reach the shared L2/DRAM/MSHR state exactly as the serial
+	// loop interleaves them (none of it reads L1 directory or bank state,
+	// so running it after the whole batch's L1 legs is exact).
+	for i := 0; i < n; i++ {
+		r1 := res[i]
+		done := r1.Ready + s.cfg.L1.HitLat
+		if r1.Writeback >= 0 {
+			s.accessL2(r1.Writeback, true, r1.Ready)
+		}
+		if r1.Hit {
+			dones[i] = done
+			continue
+		}
+		if writes[i] {
+			if s.cfg.L1.Policy == WriteThrough {
+				s.accessL2(lines[i], true, r1.Ready)
+				dones[i] = r1.Ready + 1
+				continue
+			}
+			s.accessL2(lines[i], false, r1.Ready) // fetch-on-write, off the critical path
+			dones[i] = done
+			continue
+		}
+		start := s.mshrs.Admit(r1.Ready)
+		d := s.accessL2(lines[i], false, start) + s.cfg.L1.HitLat
+		s.mshrs.Record(d)
+		dones[i] = d
+	}
+}

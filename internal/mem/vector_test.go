@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// vectorConfig builds a small memory system so random streams exercise
+// evictions, writebacks, MSHR pressure and bank conflicts quickly.
+func vectorConfig(policy WritePolicy, l1Banks, l2Banks int) Config {
+	return Config{
+		L1: CacheConfig{
+			SizeBytes: 4 << 10, LineBytes: 64, Ways: 2, Banks: l1Banks,
+			HitLat: 24, Policy: policy,
+		},
+		L2: CacheConfig{
+			SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, Banks: l2Banks,
+			HitLat: 90, Policy: WriteBack,
+		},
+		DRAM:        DRAMConfig{Channels: 2, Banks: 4, AccessLat: 220, BusyCyc: 4},
+		L1MSHRs:     8,
+		WordBytes:   4,
+		SharedBanks: 8,
+		SharedLat:   2,
+	}
+}
+
+// TestAccessVectorMatchesAccessWord drives random mixed load/store streams
+// through System.AccessVector in random-sized batches and through the
+// per-word AccessWord loop on a twin system, asserting identical completion
+// cycles, statistics, and cache directory state. This is the drift gate for
+// the batched path: AccessBankedVector duplicates AccessBanked's directory
+// and settlement logic, and this test is what keeps them in lockstep.
+func TestAccessVectorMatchesAccessWord(t *testing.T) {
+	geometries := []struct {
+		name             string
+		l1Banks, l2Banks int
+	}{
+		{"pow2-banks", 8, 4},
+		{"non-pow2-banks", 6, 3},
+	}
+	for _, pol := range []WritePolicy{WriteBack, WriteThrough} {
+		for _, g := range geometries {
+			name := pol.String() + "/" + g.name
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(0x5eed + int64(g.l1Banks) + 64*int64(pol)))
+				cfg := vectorConfig(pol, g.l1Banks, g.l2Banks)
+				ref := NewSystem(cfg)
+				vec := NewSystem(cfg)
+
+				const rounds = 64
+				const maxBatch = 96
+				addrSpace := int64(4096)
+				now := int64(0)
+				addrs := make([]int64, maxBatch)
+				writes := make([]bool, maxBatch)
+				issues := make([]int64, maxBatch)
+				dones := make([]int64, maxBatch)
+				touched := map[int64]bool{}
+
+				for round := 0; round < rounds; round++ {
+					n := 1 + rng.Intn(maxBatch)
+					base := now
+					for i := 0; i < n; i++ {
+						// Mix strided, clustered and random addresses so
+						// combining, conflicts and misses all occur.
+						switch rng.Intn(3) {
+						case 0:
+							addrs[i] = int64(i) * 7 % addrSpace
+						case 1:
+							addrs[i] = rng.Int63n(64)
+						default:
+							addrs[i] = rng.Int63n(addrSpace)
+						}
+						writes[i] = rng.Intn(3) == 0
+						// Issue times drift forward with jitter, including
+						// ties and small inversions (out-of-order lanes).
+						issues[i] = base + int64(i)/2 + rng.Int63n(5) - 2
+						touched[addrs[i]/16] = true
+					}
+					now += int64(n) / 2
+
+					vec.AccessVector(addrs[:n], writes[:n], issues[:n], dones[:n])
+					for i := 0; i < n; i++ {
+						want := ref.AccessWord(addrs[i], writes[i], issues[i])
+						if dones[i] != want {
+							t.Fatalf("round %d elem %d (addr %d write %v issue %d): vector done %d, serial %d",
+								round, i, addrs[i], writes[i], issues[i], dones[i], want)
+						}
+					}
+					if ref.Stats() != vec.Stats() {
+						t.Fatalf("round %d: stats diverged:\nserial %+v\nvector %+v", round, ref.Stats(), vec.Stats())
+					}
+				}
+
+				// Directory state must match line for line.
+				for line := range touched {
+					if ref.L1.Contains(line) != vec.L1.Contains(line) {
+						t.Fatalf("L1 line %d: serial contains=%v vector contains=%v",
+							line, ref.L1.Contains(line), vec.L1.Contains(line))
+					}
+					if ref.L2.Contains(line) != vec.L2.Contains(line) {
+						t.Fatalf("L2 line %d: serial contains=%v vector contains=%v",
+							line, ref.L2.Contains(line), vec.L2.Contains(line))
+					}
+				}
+
+				// Hidden state (dirty bits, LRU, rings, bank slots, MSHRs)
+				// must agree too: a follow-up serial sweep over both systems
+				// only completes identically if every piece of timing state
+				// was left byte-equal by the batched walk.
+				for i := int64(0); i < 512; i++ {
+					a := i * 3 % addrSpace
+					w := i%5 == 0
+					d1 := ref.AccessWord(a, w, now+i)
+					d2 := vec.AccessWord(a, w, now+i)
+					if d1 != d2 {
+						t.Fatalf("post-sweep access %d (addr %d): serial %d vector %d", i, a, d1, d2)
+					}
+				}
+				if ref.Stats() != vec.Stats() {
+					t.Fatalf("post-sweep stats diverged:\nserial %+v\nvector %+v", ref.Stats(), vec.Stats())
+				}
+			})
+		}
+	}
+}
+
+// TestAccessVectorSingleElement pins the degenerate batch: a one-element
+// vector call is exactly one AccessWord.
+func TestAccessVectorSingleElement(t *testing.T) {
+	cfg := DefaultConfig(WriteBack)
+	ref := NewSystem(cfg)
+	vec := NewSystem(cfg)
+	addrs := []int64{129}
+	writes := []bool{false}
+	issues := []int64{5}
+	dones := []int64{0}
+	vec.AccessVector(addrs, writes, issues, dones)
+	if want := ref.AccessWord(129, false, 5); dones[0] != want {
+		t.Fatalf("single-element vector done %d, serial %d", dones[0], want)
+	}
+}
+
+func TestOutstandingLenAfter(t *testing.T) {
+	o := NewOutstanding(4)
+	o.Record(10)
+	o.Record(20)
+	o.Record(30)
+	for _, tc := range []struct {
+		ready int64
+		want  int
+	}{{5, 3}, {10, 2}, {25, 1}, {30, 0}} {
+		if got := o.LenAfter(tc.ready); got != tc.want {
+			t.Fatalf("LenAfter(%d) = %d, want %d", tc.ready, got, tc.want)
+		}
+	}
+	if o.Len() != 3 {
+		t.Fatalf("LenAfter mutated the window: Len = %d", o.Len())
+	}
+}
