@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-record trace-check serve-check lint verify-check fuzz-smoke fmt
+.PHONY: check build test vet race bench bench-record trace-check serve-check gate-check lint verify-check fuzz-smoke fmt
 
 # check is the full pre-merge gate: static checks (go vet plus the
 # repo-specific vgiwlint), the test suite under the race detector, the
 # verifier gates (invalid-kernel corpus, checked pipelines, a short fuzz
 # smoke), one iteration of each perf-guard benchmark (allocs/op regressions
-# show up even at -benchtime=1x), the trace/metrics schema gate, and the
-# daemon smoke test.
-check: vet lint build race verify-check fuzz-smoke bench trace-check serve-check
+# show up even at -benchtime=1x), the trace/metrics schema gate, the metric
+# regression gate against the checked-in baselines, and the daemon smoke
+# test.
+check: vet lint build race verify-check fuzz-smoke bench trace-check gate-check serve-check
 
 # lint runs the repo-specific static checks: hotpath allocation bans,
 # trace.Sink nil-receiver guards, strided context polling (cmd/vgiwlint).
@@ -75,9 +76,21 @@ bench-record:
 trace-check:
 	$(GO) test -run TestTraceCheck .
 
+# gate-check is the hard metric regression gate: validate both checked-in
+# baseline files, then re-run the suite at BENCH_trace.json's scale and
+# require every metric to match exactly (the simulators are deterministic,
+# so tolerance 0 is earned; intentional metric changes regenerate the
+# baseline with `go run ./cmd/benchgate -baseline BENCH_trace.json -run
+# -update`).
+gate-check:
+	$(GO) run ./cmd/benchgate -validate BENCH_engine.json BENCH_trace.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_trace.json -run
+
 # serve-check builds the real vgiwd binary, boots it on an ephemeral port,
 # submits/polls/cancels jobs over HTTP, scrapes /metrics, then SIGTERM-drains
-# it and requires a clean exit (see cmd/vgiwd/main_test.go).
+# it and requires a clean exit — and, via TestServeCheckStore, boots it with
+# a temp -store-dir, restarts it, and requires the stored result to come
+# back byte-identical (see cmd/vgiwd/main_test.go).
 serve-check:
 	$(GO) test -run TestServeCheck ./cmd/vgiwd
 

@@ -1,0 +1,275 @@
+// Command benchgate is the repo's metric regression gate: it compares a
+// current metric series against a checked-in baseline under per-metric
+// tolerance rules and exits non-zero on regression, so `make check` fails
+// when a change moves the simulated numbers.
+//
+// Modes:
+//
+//	benchgate -validate FILE...
+//	    Parse and validate each baseline (schema, required fields, monotone
+//	    dates for trajectories). The schema-hygiene half of the gate.
+//
+//	benchgate -baseline BENCH_trace.json -run
+//	    Re-run the benchmark suite at the baseline snapshot's scale — the
+//	    exact path `vgiw-experiments -metrics` records — and compare the
+//	    resulting vgiw-metrics/v1 series against the baseline.
+//
+//	benchgate -baseline OLD -current NEW
+//	    Compare two baseline files offline (both vgiw-metrics/v1 snapshots,
+//	    or both vgiw-bench/v1 trajectories, compared by latest ns/op).
+//
+// The default tolerance is 0 — exact match — which the simulators earn by
+// being deterministic: equal specs produce byte-identical metrics. Loosen
+// per metric with repeatable -tol 'glob=frac' rules (first match wins) or
+// globally with -tolerance. -update rewrites the baseline from the current
+// series instead of failing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/trace"
+)
+
+// tolRule is one -tol glob=frac override; the first matching rule wins.
+type tolRule struct {
+	pattern string
+	frac    float64
+}
+
+type tolRules []tolRule
+
+func (t *tolRules) String() string { return fmt.Sprint(*t) }
+
+func (t *tolRules) Set(s string) error {
+	pat, frac, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want glob=frac, got %q", s)
+	}
+	f, err := strconv.ParseFloat(frac, 64)
+	if err != nil || f < 0 {
+		return fmt.Errorf("bad tolerance fraction %q", frac)
+	}
+	*t = append(*t, tolRule{pattern: pat, frac: f})
+	return nil
+}
+
+// globMatch matches name against a pattern where '*' matches any run of
+// characters — slashes included, unlike path.Match, because metric names
+// ("vgiw/cycles") use '/' as an ordinary separator.
+func globMatch(pattern, name string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	name = name[len(parts[0]):]
+	last := len(parts) - 1
+	for _, part := range parts[1:last] {
+		i := strings.Index(name, part)
+		if i < 0 {
+			return false
+		}
+		name = name[i+len(part):]
+	}
+	return strings.HasSuffix(name, parts[last])
+}
+
+// tolFor resolves the tolerance fraction for a metric name.
+func tolFor(name string, global float64, rules tolRules) float64 {
+	for _, r := range rules {
+		if globMatch(r.pattern, name) {
+			return r.frac
+		}
+	}
+	return global
+}
+
+// compareSeries checks cur against base. A metric missing from cur, or
+// moved beyond its tolerance, is a failure; a metric only in cur is a
+// warning (new metrics are growth, not regression). Output is name-sorted.
+func compareSeries(base, cur map[string]float64, global float64, rules tolRules) (fails, warns []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bv := base[name]
+		cv, ok := cur[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing (baseline %g)", name, bv))
+			continue
+		}
+		tol := tolFor(name, global, rules)
+		diff := cv - bv
+		if diff < 0 {
+			diff = -diff
+		}
+		limit := tol * bv
+		if limit < 0 {
+			limit = -limit
+		}
+		if diff > limit {
+			fails = append(fails, fmt.Sprintf("%s: %g, baseline %g (Δ %+g, tolerance %g)", name, cv, bv, cv-bv, limit))
+		}
+	}
+	extra := make([]string, 0)
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		warns = append(warns, fmt.Sprintf("%s: new metric (%g), not in baseline", name, cur[name]))
+	}
+	return fails, warns
+}
+
+// runCurrentSeries reproduces the baseline snapshot's series by running the
+// full suite at its scale, exactly as `vgiw-experiments -metrics` does.
+func runCurrentSeries(scale int) (map[string]float64, *trace.Registry, error) {
+	opt := bench.DefaultOptions()
+	opt.Scale = scale
+	opt.Cache = bench.NewArtifactCache()
+	suite, err := bench.RunSuite(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	series := make(map[string]float64, len(suite.Metrics.Names()))
+	for name, v := range suite.Metrics.Flat() {
+		series[name] = float64(v)
+	}
+	return series, suite.Metrics, nil
+}
+
+func main() {
+	var (
+		validate  = flag.Bool("validate", false, "validate baseline files (args) and exit")
+		baseline  = flag.String("baseline", "", "baseline file to gate against")
+		current   = flag.String("current", "", "current series file to compare (offline mode)")
+		run       = flag.Bool("run", false, "produce the current series by running the suite at the baseline's scale")
+		tolerance = flag.Float64("tolerance", 0, "global tolerance as a fraction of the baseline value (0 = exact)")
+		update    = flag.Bool("update", false, "rewrite the baseline from the current series instead of failing")
+		rules     tolRules
+	)
+	flag.Var(&rules, "tol", "per-metric tolerance override, glob=frac (repeatable; first match wins)")
+	flag.Parse()
+
+	switch {
+	case *validate:
+		os.Exit(validateFiles(flag.Args()))
+	case *baseline == "":
+		fmt.Fprintln(os.Stderr, "benchgate: need -validate FILE... or -baseline FILE")
+		os.Exit(2)
+	}
+
+	base, err := bench.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if err := base.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+
+	var curSeries map[string]float64
+	var curReg *trace.Registry
+	switch {
+	case *run:
+		if base.Kind() != "metrics" {
+			fmt.Fprintf(os.Stderr, "benchgate: -run gates metric snapshots; %s is a %s baseline\n", *baseline, base.Kind())
+			os.Exit(2)
+		}
+		scale := base.Snapshot.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: running suite at scale %d against %s (%d metrics)...\n",
+			scale, *baseline, len(base.Series()))
+		curSeries, curReg, err = runCurrentSeries(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: suite: %v\n", err)
+			os.Exit(2)
+		}
+	case *current != "":
+		cur, err := bench.LoadBaseline(*current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if cur.Kind() != base.Kind() {
+			fmt.Fprintf(os.Stderr, "benchgate: cannot compare %s baseline to %s baseline\n", base.Kind(), cur.Kind())
+			os.Exit(2)
+		}
+		curSeries = cur.Series()
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: need -run or -current FILE alongside -baseline")
+		os.Exit(2)
+	}
+
+	fails, warns := compareSeries(base.Series(), curSeries, *tolerance, rules)
+	for _, wmsg := range warns {
+		fmt.Fprintf(os.Stderr, "benchgate: note: %s\n", wmsg)
+	}
+	if len(fails) > 0 && *update {
+		if curReg == nil {
+			fmt.Fprintln(os.Stderr, "benchgate: -update needs -run (the current series must be freshly produced)")
+			os.Exit(2)
+		}
+		f, err := os.Create(*baseline)
+		if err == nil {
+			err = curReg.WriteSnapshot(f, base.Snapshot.Scale)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: update: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: rewrote %s (%d metrics; %d had moved)\n", *baseline, len(curSeries), len(fails))
+		return
+	}
+	if len(fails) > 0 {
+		for _, fmsg := range fails {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", fmsg)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed beyond tolerance against %s\n", len(fails), *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: ok — %d metrics within tolerance of %s\n", len(base.Series()), *baseline)
+}
+
+// validateFiles checks each file parses under a known baseline schema and
+// passes structural validation; returns the process exit code.
+func validateFiles(files []string) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -validate needs baseline files as arguments")
+		return 2
+	}
+	code := 0
+	for _, name := range files {
+		b, err := bench.LoadBaseline(name)
+		if err == nil {
+			err = b.Validate()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %v\n", name, err)
+			code = 1
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: ok %s (%s, %d series)\n", name, b.Kind(), len(b.Series()))
+	}
+	return code
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareSeriesExact(t *testing.T) {
+	base := map[string]float64{"a": 10, "b": 20, "c": 0}
+	cur := map[string]float64{"a": 10, "b": 20, "c": 0}
+	fails, warns := compareSeries(base, cur, 0, nil)
+	if len(fails) != 0 || len(warns) != 0 {
+		t.Fatalf("identical series: fails=%v warns=%v", fails, warns)
+	}
+}
+
+func TestCompareSeriesRegressionAndMissing(t *testing.T) {
+	base := map[string]float64{"a": 10, "b": 20}
+	cur := map[string]float64{"a": 11} // a moved, b missing
+	fails, _ := compareSeries(base, cur, 0, nil)
+	if len(fails) != 2 {
+		t.Fatalf("fails = %v, want a-moved and b-missing", fails)
+	}
+	// Name-sorted: "a" first.
+	if !strings.Contains(fails[0], "a:") || !strings.Contains(fails[1], "b: missing") {
+		t.Errorf("fails = %v", fails)
+	}
+}
+
+func TestCompareSeriesTolerance(t *testing.T) {
+	base := map[string]float64{"vgiw/cycles": 100, "vgiw/ops": 50}
+	cur := map[string]float64{"vgiw/cycles": 104, "vgiw/ops": 50}
+	if fails, _ := compareSeries(base, cur, 0.05, nil); len(fails) != 0 {
+		t.Errorf("4%% drift under 5%% global tolerance failed: %v", fails)
+	}
+	if fails, _ := compareSeries(base, cur, 0.01, nil); len(fails) != 1 {
+		t.Errorf("4%% drift over 1%% tolerance passed")
+	}
+	// Per-metric rule overrides the (tight) global.
+	rules := tolRules{{pattern: "vgiw/cyc*", frac: 0.10}}
+	if fails, _ := compareSeries(base, cur, 0, rules); len(fails) != 0 {
+		t.Errorf("per-metric rule not applied: %v", fails)
+	}
+}
+
+func TestCompareSeriesNewMetricWarnsOnly(t *testing.T) {
+	base := map[string]float64{"a": 1}
+	cur := map[string]float64{"a": 1, "z": 9}
+	fails, warns := compareSeries(base, cur, 0, nil)
+	if len(fails) != 0 {
+		t.Errorf("new metric treated as failure: %v", fails)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "z") {
+		t.Errorf("warns = %v", warns)
+	}
+}
+
+func TestTolRulesFirstMatchWins(t *testing.T) {
+	var rules tolRules
+	if err := rules.Set("vgiw/*=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rules.Set("*=0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tolFor("vgiw/cycles", 0, rules); got != 0.5 {
+		t.Errorf("tolFor(vgiw/cycles) = %g, want first rule's 0.5", got)
+	}
+	if got := tolFor("mem/hits", 0, rules); got != 0.1 {
+		t.Errorf("tolFor(mem/hits) = %g, want 0.1", got)
+	}
+	if got := tolFor("anything", 0.2, nil); got != 0.2 {
+		t.Errorf("no rules: tolFor = %g, want global 0.2", got)
+	}
+	if err := rules.Set("no-equals-sign"); err == nil {
+		t.Error("malformed rule accepted")
+	}
+	if err := rules.Set("a=notafloat"); err == nil {
+		t.Error("malformed fraction accepted")
+	}
+}
+
+func TestValidateFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"schema":"vgiw-metrics/v1","scale":2,"metrics":{"a":1}}`), 0o644)
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"nonsense/v9"}`), 0o644)
+
+	if code := validateFiles([]string{good}); code != 0 {
+		t.Errorf("valid file: exit %d", code)
+	}
+	if code := validateFiles([]string{good, bad}); code != 1 {
+		t.Errorf("invalid file: exit %d, want 1", code)
+	}
+	if code := validateFiles(nil); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+}

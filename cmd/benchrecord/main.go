@@ -14,7 +14,7 @@
 // the exit status stays 0 — because wall-clock benchmarks on shared machines
 // are too noisy for a hard gate; the hard gates are the zero-alloc tests.
 //
-// With -record it appends one entry per parsed benchmark:
+// With -record it folds one entry per parsed benchmark into the file:
 //
 //	{"commit": "<git short hash>", "date": "YYYY-MM-DD",
 //	 "bench": "BenchmarkEngineVector/batched", "ns_per_op": 103135,
@@ -22,8 +22,10 @@
 //
 // threads_per_sec is derived as threads * 1e9 / ns_per_op, with -threads
 // naming the per-iteration thread count of the benchmark scenario (512 for
-// the engine hot path). Entries are never rewritten; the file is the full
-// trajectory, oldest first.
+// the engine hot path). Recording is idempotent on the (commit, bench) key:
+// re-running at the same commit replaces that commit's entries in place
+// instead of appending duplicates, so the file stays one point per
+// (commit, bench), oldest first.
 package main
 
 import (
@@ -38,23 +40,16 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"vgiw/internal/bench"
 )
 
-type entry struct {
-	Commit        string  `json:"commit"`
-	Date          string  `json:"date"`
-	Bench         string  `json:"bench"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	ThreadsPerSec float64 `json:"threads_per_sec,omitempty"`
-	Note          string  `json:"note,omitempty"`
-}
-
-type trajectory struct {
-	Schema  string  `json:"schema"`
-	Entries []entry `json:"entries"`
-}
-
-const schema = "vgiw-bench/v1"
+// The wire types live in internal/bench (baseline.go), shared with the
+// benchgate regression gate; the aliases keep this file's parsing code short.
+type (
+	entry      = bench.TrajectoryEntry
+	trajectory = bench.Trajectory
+)
 
 func main() {
 	file := flag.String("file", "BENCH_engine.json", "trajectory file to read/append")
@@ -107,8 +102,7 @@ func main() {
 				results[i].ThreadsPerSec = math.Round(float64(*threads) * 1e9 / results[i].NsPerOp)
 			}
 		}
-		traj.Schema = schema
-		traj.Entries = append(traj.Entries, results...)
+		traj.Record(results)
 		if err := save(*file, traj); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
 			os.Exit(1)

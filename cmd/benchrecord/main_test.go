@@ -89,3 +89,45 @@ func TestCollapseMin(t *testing.T) {
 		t.Fatalf("collapseMin = %+v", out)
 	}
 }
+
+// TestRecordReplacesInPlace pins -record's idempotency through the file
+// round-trip: re-recording at the same commit rewrites that commit's entry
+// where it sits instead of appending a duplicate, while a new commit appends.
+func TestRecordReplacesInPlace(t *testing.T) {
+	path := t.TempDir() + "/traj.json"
+	first := []entry{{Commit: "aaa111", Date: "2026-08-01", Bench: "BenchmarkA", NsPerOp: 120}}
+	traj, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj.Record(first)
+	if err := save(path, traj); err != nil {
+		t.Fatal(err)
+	}
+
+	traj, err = load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj.Record([]entry{
+		{Commit: "aaa111", Date: "2026-08-01", Bench: "BenchmarkA", NsPerOp: 100}, // same key: replace
+		{Commit: "bbb222", Date: "2026-08-02", Bench: "BenchmarkA", NsPerOp: 95},  // new commit: append
+	})
+	if err := save(path, traj); err != nil {
+		t.Fatal(err)
+	}
+
+	traj, err = load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (replace-in-place, then append): %+v", len(traj.Entries), traj.Entries)
+	}
+	if traj.Entries[0].NsPerOp != 100 || traj.Entries[0].Commit != "aaa111" {
+		t.Errorf("entry 0 = %+v, want the replaced aaa111 point", traj.Entries[0])
+	}
+	if got, ok := latest(traj, "BenchmarkA"); !ok || got.Commit != "bbb222" {
+		t.Errorf("latest = %+v, want the bbb222 point", got)
+	}
+}

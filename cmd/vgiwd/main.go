@@ -7,6 +7,7 @@
 //	vgiwd                         # serve on :8077
 //	vgiwd -addr 127.0.0.1:0       # ephemeral port (printed on stdout)
 //	vgiwd -workers 4 -queue 128   # widen the pool and the admission queue
+//	vgiwd -store-dir /var/lib/vgiwd  # persist results across restarts
 //
 // Endpoints:
 //
@@ -15,14 +16,24 @@
 //	GET    /v1/jobs           list jobs
 //	GET    /v1/jobs/{id}      job status + result; ?wait=1 blocks
 //	GET    /v1/jobs/{id}/trace  Chrome trace JSON (jobs with "trace":true)
+//	GET    /v1/jobs/{id}/events Server-Sent Events live stream (trace jobs)
 //	DELETE /v1/jobs/{id}      cancel a job
+//	GET    /v1/history        stored results (-store-dir); ?kernel=&kind=&key=
+//	GET    /v1/history/{key}  one stored result, in full
+//	GET    /v1/history/diff   metric diff: ?from=<key>&to=<key>[&prefix=]
 //	GET    /healthz           liveness
 //	GET    /readyz            readiness (503 while draining)
 //	GET    /metrics           Prometheus text exposition
 //
+// With -store-dir, completed results persist in a content-addressed store and
+// a restarted daemon serves matching submissions from it byte-identically
+// (marked "cached": "store").
+//
 // SIGINT/SIGTERM starts a graceful drain: readiness flips, in-flight jobs
 // finish (up to -drain-timeout, then they are cancelled), final metrics are
-// flushed to stderr, and the process exits 0 on a clean drain.
+// flushed to stderr — and, with -store-dir, persisted into the store as a
+// "shutdown" vgiw-metrics/v1 snapshot — and the process exits 0 on a clean
+// drain.
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"time"
 
 	"vgiw/internal/server"
+	"vgiw/internal/store"
 	"vgiw/internal/version"
 )
 
@@ -55,6 +67,7 @@ func run(args []string) int {
 		timeout      = fs.Duration("timeout", 0, "default per-job deadline (0 = 2m)")
 		maxTimeout   = fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = 10m)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits before cancelling jobs")
+		storeDir     = fs.String("store-dir", "", "persistent result store directory (empty = persistence disabled)")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
@@ -64,12 +77,19 @@ func run(args []string) int {
 		return 0
 	}
 
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vgiwd: %v\n", err)
+		return 1
+	}
+
 	s := server.New(server.Config{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RunParallelism: *parallelism,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Store:          st,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -112,10 +132,16 @@ func run(args []string) int {
 		}
 	}
 	// Flush final metrics so a scrape-less deployment still gets a
-	// terminal snapshot in its logs.
+	// terminal snapshot in its logs — and, when persistence is on, into the
+	// store as a machine-readable vgiw-metrics/v1 snapshot.
 	fmt.Fprintln(os.Stderr, "vgiwd: final metrics:")
 	if err := s.WriteMetrics(os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "vgiwd: metrics flush: %v\n", err)
+	}
+	if err := st.PutSnapshot("shutdown", s.SnapshotRegistry(), 0); err != nil {
+		fmt.Fprintf(os.Stderr, "vgiwd: shutdown snapshot: %v\n", err)
+	} else if st != nil {
+		fmt.Fprintf(os.Stderr, "vgiwd: shutdown snapshot persisted to %s\n", st.Dir())
 	}
 	fmt.Fprintln(os.Stderr, "vgiwd: drained")
 	return code

@@ -143,6 +143,133 @@ func TestServeCheck(t *testing.T) {
 	}
 }
 
+// buildDaemon compiles the real vgiwd binary into a temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "vgiwd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon boots the binary and waits for its bound-address announcement.
+func startDaemon(t *testing.T, bin string, args ...string) (daemon *exec.Cmd, base string, stderr *bytes.Buffer) {
+	t.Helper()
+	daemon = exec.Command(bin, args...)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr = new(bytes.Buffer)
+	daemon.Stderr = stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { daemon.Process.Kill() }) //nolint:errcheck // backstop
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "vgiwd listening on "); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address; stderr:\n%s", stderr.String())
+	}
+	go io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+	return daemon, base, stderr
+}
+
+// drainDaemon SIGTERMs the daemon and requires a clean exit.
+func drainDaemon(t *testing.T, daemon *exec.Cmd, stderr *bytes.Buffer) {
+	t.Helper()
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- daemon.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("daemon exited %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain within 60s")
+	}
+}
+
+// TestServeCheckStore is the restart acceptance test for -store-dir: a
+// result computed before a SIGTERM restart is served byte-identically (and
+// marked "cached": "store") after it, the history API lists it, and the
+// drain leaves a vgiw-metrics/v1 "shutdown" snapshot in the store.
+func TestServeCheckStore(t *testing.T) {
+	bin := buildDaemon(t)
+	storeDir := filepath.Join(t.TempDir(), "store")
+	args := []string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "4",
+		"-drain-timeout", "30s", "-store-dir", storeDir}
+
+	type jobResp struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Cached string          `json:"cached"`
+		Result json.RawMessage `json:"result"`
+	}
+
+	// First life: compute a result, then drain.
+	daemon, base, stderr := startDaemon(t, bin, args...)
+	var first jobResp
+	postJSON(t, base+"/v1/jobs?wait=1", `{"kernel":"bfs.kernel1"}`, &first)
+	if first.State != "done" || len(first.Result) == 0 {
+		t.Fatalf("first life job: %+v", first)
+	}
+	if first.Cached != "" {
+		t.Fatalf("first run claims cached=%q", first.Cached)
+	}
+	drainDaemon(t, daemon, stderr)
+	if !strings.Contains(stderr.String(), "shutdown snapshot persisted") {
+		t.Errorf("no shutdown-snapshot note in stderr:\n%s", stderr.String())
+	}
+	snap, err := os.ReadFile(filepath.Join(storeDir, "shutdown.snapshot.json"))
+	if err != nil {
+		t.Fatalf("shutdown snapshot: %v", err)
+	}
+	if !strings.Contains(string(snap), `"schema":"vgiw-metrics/v1"`) {
+		t.Errorf("shutdown snapshot is not a vgiw-metrics/v1 document:\n%s", snap)
+	}
+
+	// Second life, same store: the same spec must come back from disk,
+	// byte-identical.
+	daemon2, base2, stderr2 := startDaemon(t, bin, args...)
+	var second jobResp
+	postJSON(t, base2+"/v1/jobs?wait=1", `{"kernel":"bfs.kernel1"}`, &second)
+	if second.State != "done" {
+		t.Fatalf("second life job: %+v", second)
+	}
+	if second.Cached != "store" {
+		t.Errorf(`restart hit not marked: cached = %q, want "store"`, second.Cached)
+	}
+	if !bytes.Equal(second.Result, first.Result) {
+		t.Errorf("result changed across restart:\n%s\nvs\n%s", second.Result, first.Result)
+	}
+	var hist struct {
+		Entries []struct {
+			Key    string `json:"key"`
+			Kind   string `json:"kind"`
+			Kernel string `json:"kernel"`
+		} `json:"entries"`
+	}
+	getJSON(t, base2+"/v1/history", &hist)
+	if len(hist.Entries) != 1 || hist.Entries[0].Kind != "kernel" || hist.Entries[0].Kernel != "bfs.kernel1" {
+		t.Errorf("history after restart: %+v", hist.Entries)
+	}
+	drainDaemon(t, daemon2, stderr2)
+}
+
 func TestVersionFlag(t *testing.T) {
 	// In-process: run() handles -version without touching the network.
 	var out strings.Builder

@@ -155,11 +155,11 @@ func TestDifferentialEngines(t *testing.T) {
 // countSet is the cycle-independent slice of a result that fast mode must
 // reproduce exactly.
 type countSet struct {
-	ops                map[kir.UnitClass]uint64
-	fpOps              uint64
-	hops, transfers    uint64
-	global, shared     uint64
-	lvLoads, lvStores  uint64
+	ops               map[kir.UnitClass]uint64
+	fpOps             uint64
+	hops, transfers   uint64
+	global, shared    uint64
+	lvLoads, lvStores uint64
 }
 
 func checkCounts(t *testing.T, what string, want, got countSet) {

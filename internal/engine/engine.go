@@ -494,9 +494,15 @@ func (e *Engine) runThread(p *fabric.Placement, r, tid int, inject int64, h *Hoo
 			st.FPOps++
 		}
 		if e.opt.Trace.Enabled(trace.CatEngine) {
+			dur := done - ready
+			if dur < 0 {
+				// LV hits can complete "before" issue (the value was already
+				// resident); a span still needs a non-negative duration.
+				dur = 0
+			}
 			e.opt.Trace.Emit(trace.Event{
 				Name: nodeEventName(n), Cat: trace.CatEngine, Phase: trace.PhaseSpan,
-				Track: h.TraceTrack, Ts: ready, Dur: done - ready,
+				Track: h.TraceTrack, Ts: ready, Dur: dur,
 				K1: "node", V1: int64(n.ID), K2: "tid", V2: int64(tid), K3: "replica", V3: int64(r),
 			})
 		}
@@ -644,4 +650,3 @@ func resize[T any](s []T, n int) []T {
 	}
 	return s[:n]
 }
-

@@ -39,8 +39,8 @@ func NewDataEnv(k *kir.Kernel, launch kir.Launch, global []uint32, sys *mem.Syst
 // start nil; the caller wires them in.
 func (d *DataEnv) Hooks() *Hooks {
 	return &Hooks{
-		Param:    func(i int) uint32 { return d.Launch.Params[i] },
-		Geometry: d.Launch.Geometry,
+		Param:           func(i int) uint32 { return d.Launch.Params[i] },
+		Geometry:        d.Launch.Geometry,
 		AccessMem:       d.accessMem,
 		AccessMemVector: d.accessMemVector,
 		AccessMemFast: func(space Space, addr int64, write bool, value uint32, tid int) (uint32, error) {

@@ -167,12 +167,12 @@ type nodeProg struct {
 	// element).
 	vecIdx int
 
-	classCount  [kir.NumUnitClasses]uint64
-	fpNodes     uint64
-	lvLoadNodes uint64
+	classCount   [kir.NumUnitClasses]uint64
+	fpNodes      uint64
+	lvLoadNodes  uint64
 	lvStoreNodes uint64
-	transfers   uint64
-	hopSum      []uint64 // per replica: total token hops per thread
+	transfers    uint64
+	hopSum       []uint64 // per replica: total token hops per thread
 }
 
 // progFor returns the cached program for a placement, compiling it on first
@@ -198,11 +198,11 @@ func compileProg(p *fabric.Placement) (*nodeProg, error) {
 	g := p.Graph
 	n := len(g.Nodes)
 	pr := &nodeProg{
-		n:     n,
-		nodes: make([]progNode, n),
-		unit:  make([]int32, p.Replicas*n),
-		eOff:  make([]int32, n+1),
-		tcrit: make([]int64, p.Replicas),
+		n:      n,
+		nodes:  make([]progNode, n),
+		unit:   make([]int32, p.Replicas*n),
+		eOff:   make([]int32, n+1),
+		tcrit:  make([]int64, p.Replicas),
 		hopSum: make([]uint64, p.Replicas),
 	}
 

@@ -18,8 +18,8 @@ package mem
 // engine's call sites. tailEnd is the exclusive end (hi+1); tailEnd == 0
 // doubles as "no trailing span" so the zero value is an empty allocator.
 type SlotAlloc struct {
-	spans  []span // all spans except the trailing one, in order
-	tailLo int64
+	spans   []span // all spans except the trailing one, in order
+	tailLo  int64
 	tailEnd int64
 	// hint/hint2 remember where the two most recent distinct before-tail
 	// allocations landed. A stream of rising ready times revisits the same

@@ -28,7 +28,12 @@ type execution struct {
 	cancel context.CancelCauseFunc
 
 	// sink captures the run's cycle-level trace when spec.Trace is set.
+	// Live subscribers (GET /v1/jobs/{id}/events) tee off it.
 	sink *trace.Sink
+
+	// fromStore marks an execution that never ran: its result was served
+	// from the persistent result store (surfaced as `"cached": "store"`).
+	fromStore bool
 
 	// Guarded by the server mutex.
 	refs      int  // attached (non-detached, non-terminal) jobs
@@ -38,7 +43,9 @@ type execution struct {
 
 	// Written by the worker before done is closed; reading after <-done is
 	// race-free (channel close is a happens-before edge).
-	result   []byte // final result JSON (nil on error)
+	result   []byte          // final result JSON (nil on error)
+	metrics  *trace.Snapshot // the run's vgiw-metrics/v1 snapshot (nil for source jobs)
+	stages   bench.StageTimes
 	err      error
 	finished time.Time
 
@@ -114,6 +121,10 @@ type JobView struct {
 	Created time.Time     `json:"created"`
 	Started *time.Time    `json:"started,omitempty"`
 	Ended   *time.Time    `json:"ended,omitempty"`
+
+	// Cached is "store" when the result was served from the persistent
+	// result store instead of a fresh execution (byte-identical either way).
+	Cached string `json:"cached,omitempty"`
 
 	// Result is the job's result document once State is "done": a
 	// bench.JSONReport for kernel and suite jobs, a CompileReport for

@@ -1,0 +1,413 @@
+package server
+
+// Tests for the persistence-and-live-observation tier: the result store
+// behind Submit, the /v1/history API, and the /v1/jobs/{id}/events SSE
+// stream.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vgiw/internal/store"
+	"vgiw/internal/trace"
+)
+
+func newStoreServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st
+	return newTestServer(t, cfg)
+}
+
+// metricValue scrapes one counter's current value out of the exposition.
+func metricValue(t *testing.T, ts *httptest.Server, name string) int {
+	t.Helper()
+	re := regexp.MustCompile(`vgiw_metric\{name="` + regexp.QuoteMeta(name) + `"\} (\d+)`)
+	m := re.FindStringSubmatch(scrapeMetrics(t, ts))
+	if m == nil {
+		return 0
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestStoreRoundTrip is the persistence acceptance test: a result computed
+// by one server is served byte-identically by a second server sharing the
+// store directory — the restart scenario — marked "cached": "store", counted
+// in store_hits, and visible through the history API.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"kernel":"bfs.kernel1","scale":2}`
+
+	sA, tsA := newStoreServer(t, dir, Config{Workers: 1, QueueDepth: 4})
+	respA, vA := postJob(t, tsA, spec, "?wait=1")
+	if respA.StatusCode != http.StatusOK || vA.State != StateDone {
+		t.Fatalf("first run: status %d state %q", respA.StatusCode, vA.State)
+	}
+	if vA.Cached != "" {
+		t.Fatalf("first run claims cached=%q", vA.Cached)
+	}
+	// Drain server A: its worker flushes the store entry before exiting, so
+	// the directory now holds everything a new process can see.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sA.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	_, tsB := newStoreServer(t, dir, Config{Workers: 1, QueueDepth: 4})
+	respB, vB := postJob(t, tsB, spec, "?wait=1")
+	if respB.StatusCode != http.StatusOK || vB.State != StateDone {
+		t.Fatalf("store hit: status %d state %q", respB.StatusCode, vB.State)
+	}
+	if vB.Cached != "store" {
+		t.Errorf(`store hit not marked: cached = %q, want "store"`, vB.Cached)
+	}
+	if !bytes.Equal(vB.Result, vA.Result) {
+		t.Errorf("store hit is not byte-identical:\n%s\nvs\n%s", vB.Result, vA.Result)
+	}
+	if got := metricValue(t, tsB, "vgiwd/store_hits"); got != 1 {
+		t.Errorf("store_hits = %d, want 1", got)
+	}
+	if got := metricValue(t, tsB, "vgiwd/runs_executed"); got != 0 {
+		t.Errorf("runs_executed = %d on a pure store hit, want 0", got)
+	}
+
+	// The stored result is listed (and filterable) in /v1/history.
+	var hist struct {
+		Entries []HistoryEntry `json:"entries"`
+	}
+	getJSON(t, tsB, "/v1/history?kernel=bfs.kernel1", &hist)
+	if len(hist.Entries) != 1 {
+		t.Fatalf("history entries = %d, want 1", len(hist.Entries))
+	}
+	he := hist.Entries[0]
+	if he.Kind != "kernel" || he.Kernel != "bfs.kernel1" || he.Metrics == 0 {
+		t.Errorf("history entry = %+v", he)
+	}
+	getJSON(t, tsB, "/v1/history?kernel=nonexistent", &hist)
+	if len(hist.Entries) != 0 {
+		t.Errorf("kernel filter leaked %d entries", len(hist.Entries))
+	}
+
+	// Full entry fetch serves the stored result verbatim.
+	var full store.Entry
+	getJSON(t, tsB, "/v1/history/"+he.Key, &full)
+	if full.Key != he.Key || full.Metrics == nil || full.Metrics.Schema != trace.MetricsSchema {
+		t.Errorf("full entry = key %q, metrics %+v", full.Key, full.Metrics)
+	}
+
+	// Self-diff: everything unchanged, nothing moved.
+	var diff HistoryDiff
+	getJSON(t, tsB, "/v1/history/diff?from="+he.Key+"&to="+he.Key, &diff)
+	if len(diff.Changed) != 0 || diff.Unchanged == 0 {
+		t.Errorf("self-diff: changed=%d unchanged=%d", len(diff.Changed), diff.Unchanged)
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+}
+
+// TestHistoryWithoutStore pins the disabled-persistence behavior: the routes
+// exist but answer 404.
+func TestHistoryWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	for _, path := range []string{"/v1/history", "/v1/history/abc", "/v1/history/diff?from=a&to=b"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without a store: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// sseFrame is one parsed Server-Sent Event.
+type sseFrame struct {
+	event string
+	data  []byte
+}
+
+func parseSSE(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.event != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		default:
+			t.Fatalf("unparseable SSE line %q", line)
+		}
+	}
+	return frames
+}
+
+// TestEventsStream is the streaming acceptance test: for a finished traced
+// job, the SSE stream's trace frames are — in order — exactly the
+// non-metadata records of the Chrome trace export, followed by a metrics
+// snapshot and a done frame.
+func TestEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	resp, v := postJob(t, ts, `{"kernel":"bfs.kernel1","trace":true,"trace_filter":"vgiw,cvt"}`, "?wait=1")
+	if resp.StatusCode != http.StatusOK || v.State != StateDone {
+		t.Fatalf("status %d state %q", resp.StatusCode, v.State)
+	}
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, es)
+	if es.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", es.StatusCode)
+	}
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	frames := parseSSE(t, body)
+	if len(frames) < 3 {
+		t.Fatalf("only %d frames", len(frames))
+	}
+
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody := readAll(t, tr)
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var records [][]byte // export records, metadata ("M") excluded
+	for _, raw := range doc.TraceEvents {
+		var ph struct {
+			Ph string `json:"ph"`
+		}
+		if err := json.Unmarshal(raw, &ph); err != nil {
+			t.Fatal(err)
+		}
+		if ph.Ph != "M" {
+			records = append(records, []byte(raw))
+		}
+	}
+
+	var got [][]byte
+	sawMetrics, sawDone := false, false
+	for i, f := range frames {
+		switch f.event {
+		case "trace":
+			if sawMetrics || sawDone {
+				t.Fatalf("trace frame %d after metrics/done", i)
+			}
+			got = append(got, f.data)
+		case "metrics":
+			var snap trace.Snapshot
+			if err := json.Unmarshal(f.data, &snap); err != nil || snap.Schema != trace.MetricsSchema {
+				t.Errorf("metrics frame: schema %q err %v", snap.Schema, err)
+			}
+			sawMetrics = true
+		case "done":
+			var final struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal(f.data, &final); err != nil || final.ID != v.ID || final.State != StateDone {
+				t.Errorf("done frame = %s (err %v)", f.data, err)
+			}
+			sawDone = true
+		default:
+			t.Errorf("unknown frame event %q", f.event)
+		}
+	}
+	if !sawMetrics || !sawDone {
+		t.Errorf("stream ended without metrics/done (metrics=%v done=%v)", sawMetrics, sawDone)
+	}
+	// In-order prefix of the export; for a finished job the prefix is total.
+	if len(got) != len(records) {
+		t.Fatalf("stream carried %d trace frames, export has %d records", len(got), len(records))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("frame %d differs from export record:\n%s\nvs\n%s", i, got[i], records[i])
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestEventsDisconnectAndDrop pins the non-blocking consumer discipline: a
+// subscriber with a tiny ring that never reads loses events (counted in
+// vgiwd/stream_dropped) while the job runs to completion untouched.
+func TestEventsDisconnectAndDrop(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	// Pin the single worker so the traced job is admitted but not yet
+	// running when the stream attaches — the subscription must predate the
+	// event flood for the drop count to be deterministic.
+	_, blocker := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":4}`, "")
+	waitState(t, ts, blocker.ID, StateRunning)
+	_, traced := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":2,"trace":true,"trace_filter":"engine"}`, "")
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + traced.ID + "/events?buf=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the worker; the traced run now floods a 1-slot ring that
+	// nobody drains (this client never reads the body).
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+
+	done := waitState(t, ts, traced.ID, StateDone)
+	if done.State != StateDone {
+		t.Fatalf("traced job state %q", done.State)
+	}
+	es.Body.Close() // disconnect: must cancel nothing
+
+	// The handler unsubscribes on its way out and folds the ring's losses
+	// into the metric; poll briefly for that hand-off.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := metricValue(t, ts, "vgiwd/stream_dropped"); n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream_dropped never became positive")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The job survived its consumer: still done, result intact.
+	final, err := http.Get(ts.URL + "/v1/jobs/" + traced.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv := decodeView(t, final)
+	if fv.State != StateDone || len(fv.Result) == 0 {
+		t.Errorf("after disconnect: state %q, result %d bytes", fv.State, len(fv.Result))
+	}
+}
+
+// TestEventsEndpointErrors covers the stream's refusal paths.
+func TestEventsEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, plain := postJob(t, ts, `{"kernel":"bfs.kernel1"}`, "?wait=1")
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/jobs/nope/events", http.StatusNotFound},
+		{"/v1/jobs/" + plain.ID + "/events", http.StatusConflict}, // untraced
+		{"/v1/jobs/" + plain.ID + "/events?buf=zero", http.StatusConflict},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestTraceEndpointContract completes the trace handler's coverage: unknown
+// job 404, in-flight traced job 409, and a happy path whose payload passes
+// the full Chrome trace-event validator.
+func TestTraceEndpointContract(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: status %d, want 404", resp.StatusCode)
+	}
+
+	// A traced job that is still running must refuse (the sink is live).
+	_, slow := postJob(t, ts, `{"kernel":"hotspot.kernel","scale":4,"trace":true}`, "")
+	waitState(t, ts, slow.ID, StateRunning)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + slow.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("running job trace: status %d, want 409", resp.StatusCode)
+	}
+	waitState(t, ts, slow.ID, StateDone)
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + slow.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", resp.StatusCode)
+	}
+	n, err := trace.ValidateChromeTrace([]byte(body))
+	if err != nil {
+		t.Fatalf("trace failed validation: %v", err)
+	}
+	if n == 0 {
+		t.Error("validated trace has no events")
+	}
+}

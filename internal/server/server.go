@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vgiw/internal/bench"
+	"vgiw/internal/store"
 	"vgiw/internal/trace"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// MaxJobs caps retained job records; the oldest terminal jobs are
 	// evicted first. 0 = 1024.
 	MaxJobs int
+	// Store is the persistent result store. Submissions are looked up here
+	// before the singleflight path (a hit is served without executing,
+	// marked `"cached": "store"`), and every successful execution is
+	// flushed here on completion. nil = persistence disabled.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +79,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *bench.ArtifactCache
+	store *store.Store // nil = persistence disabled
 
 	// reg holds the server's own counters/histograms ("vgiwd/..."); simReg
 	// accumulates the per-kernel metrics registries folded from completed
@@ -101,6 +108,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   bench.NewArtifactCache(),
+		store:   cfg.Store,
 		reg:     trace.NewRegistry(),
 		simReg:  trace.NewRegistry(),
 		baseCtx: ctx,
@@ -115,6 +123,8 @@ func New(cfg Config) *Server {
 		"vgiwd/jobs_admitted", "vgiwd/jobs_rejected", "vgiwd/jobs_deduped",
 		"vgiwd/jobs_completed", "vgiwd/jobs_failed", "vgiwd/jobs_cancelled",
 		"vgiwd/runs_executed", "vgiwd/queue_depth",
+		"vgiwd/store_hits", "vgiwd/store_misses", "vgiwd/store_errors",
+		"vgiwd/stream_dropped",
 	} {
 		s.reg.Add(name, 0)
 	}
@@ -156,6 +166,16 @@ func (s *Server) Submit(spec bench.JobSpec) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, errDraining
+	}
+
+	// Persistent-store lookup comes before the singleflight path: a hit is
+	// served without queueing anything, byte-identical to the execution that
+	// produced it (possibly in a previous process). Traced jobs always run —
+	// a stored result carries no event sink to stream or export.
+	if s.store != nil && !spec.Trace {
+		if j, ok := s.admitFromStoreLocked(spec, key); ok {
+			return j, nil
+		}
 	}
 
 	e, shared := s.byKey[key]
@@ -207,6 +227,49 @@ func (s *Server) Submit(spec bench.JobSpec) (*Job, error) {
 	return j, nil
 }
 
+// admitFromStoreLocked tries to satisfy a submission from the persistent
+// store. On a hit it files a pre-completed job (no execution runs, no
+// deadline timer — the result already exists) and reports true. Store errors
+// are counted and fall through to a real execution: a corrupt entry must
+// never wedge the job path. Caller holds the server mutex.
+func (s *Server) admitFromStoreLocked(spec, key bench.JobSpec) (*Job, bool) {
+	ent, err := s.store.Get(store.Key(key))
+	if err != nil {
+		s.reg.Add("vgiwd/store_errors", 1)
+		return nil, false
+	}
+	if ent == nil {
+		s.reg.Add("vgiwd/store_misses", 1)
+		return nil, false
+	}
+	s.reg.Add("vgiwd/store_hits", 1)
+	now := time.Now()
+	e := &execution{
+		spec:      key,
+		fromStore: true,
+		createdAt: now,
+		finished:  now,
+		result:    ent.Result,
+		metrics:   ent.Metrics,
+		done:      make(chan struct{}),
+	}
+	close(e.done) // born terminal
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", s.seq),
+		Spec:    spec,
+		created: now,
+		exec:    e,
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	s.reg.Add("vgiwd/jobs_admitted", 1)
+	s.reg.Add("vgiwd/jobs_completed", 1)
+	return j, true
+}
+
 // Get looks a job up by ID.
 func (s *Server) Get(id string) (*Job, bool) {
 	s.mu.Lock()
@@ -242,7 +305,9 @@ func (s *Server) detach(j *Job, cause string) {
 	}
 	j.detached = true
 	j.cause = cause
-	j.timer.Stop()
+	if j.timer != nil { // store-hit jobs are born terminal and carry no timer
+		j.timer.Stop()
+	}
 	close(j.done)
 	j.exec.refs--
 	if j.exec.refs == 0 {
@@ -265,6 +330,9 @@ func (s *Server) View(j *Job) JobView {
 		Created: j.created,
 	}
 	e := j.exec
+	if e.fromStore {
+		v.Cached = "store"
+	}
 	if e.started {
 		t := e.startedAt
 		v.Started = &t
@@ -343,15 +411,25 @@ func (s *Server) runExecution(e *execution) {
 	s.reg.Observe("vgiwd/queue_wait_ms", e.startedAt.Sub(e.createdAt).Milliseconds())
 
 	var result []byte
+	var met *trace.Registry
+	var stages bench.StageTimes
 	err := e.ctx.Err() // a fully-detached or drain-killed queued job runs nothing
 	if err != nil {
 		err = context.Cause(e.ctx)
 	} else {
-		result, err = s.execute(e)
+		result, met, stages, err = s.execute(e)
 	}
 
 	s.mu.Lock()
 	e.result, e.err = result, err
+	e.stages = stages
+	if met != nil {
+		e.metrics = &trace.Snapshot{
+			Schema:  trace.MetricsSchema,
+			Scale:   e.spec.Scale,
+			Metrics: met.Flat(),
+		}
+	}
 	e.finished = time.Now()
 	delete(s.byKey, e.spec)
 	n := uint64(e.refs)
@@ -367,16 +445,48 @@ func (s *Server) runExecution(e *execution) {
 	close(e.done)
 	s.mu.Unlock()
 	s.reg.Observe("vgiwd/run_ms", e.finished.Sub(e.startedAt).Milliseconds())
+	if err == nil {
+		s.flushToStore(e)
+	}
 }
 
-// execute dispatches on the spec kind and marshals the result document.
-func (s *Server) execute(e *execution) ([]byte, error) {
+// flushToStore files a successful execution's result in the persistent
+// store. Failures are counted, not fatal: persistence is an add-on to the
+// serving path, never a gate on it. Called after e.done is closed, so the
+// result fields are stable.
+func (s *Server) flushToStore(e *execution) {
+	if s.store == nil {
+		return
+	}
+	err := s.store.Put(&store.Entry{
+		Spec: e.spec,
+		Host: store.NewHostMeta(),
+		StageMS: store.StageMS{
+			Instance: float64(e.stages.Instance.Nanoseconds()) / 1e6,
+			Compile:  float64(e.stages.Compile.Nanoseconds()) / 1e6,
+			Place:    float64(e.stages.Place.Nanoseconds()) / 1e6,
+			Simulate: float64(e.stages.Simulate.Nanoseconds()) / 1e6,
+		},
+		Result:  e.result,
+		Metrics: e.metrics,
+	})
+	if err != nil {
+		s.reg.Add("vgiwd/store_errors", 1)
+	}
+}
+
+// execute dispatches on the spec kind and marshals the result document. It
+// also returns the run's simulated-metrics registry and aggregate host stage
+// split (zero for source jobs, which simulate nothing), which runExecution
+// snapshots for the store and the /events metrics frame.
+func (s *Server) execute(e *execution) ([]byte, *trace.Registry, bench.StageTimes, error) {
 	if e.spec.Source != "" {
-		return s.compileSource(e.ctx, e.spec.Source)
+		b, err := s.compileSource(e.ctx, e.spec.Source)
+		return b, nil, bench.StageTimes{}, err
 	}
 	opt, err := e.spec.Options()
 	if err != nil {
-		return nil, err
+		return nil, nil, bench.StageTimes{}, err
 	}
 	opt.Parallelism = s.cfg.RunParallelism
 	opt.Cache = s.cache
@@ -385,25 +495,28 @@ func (s *Server) execute(e *execution) ([]byte, error) {
 	if e.spec.Suite {
 		suite, err := bench.RunSuiteCtx(e.ctx, opt)
 		if err != nil {
-			return nil, err
+			return nil, nil, bench.StageTimes{}, err
 		}
-		s.foldRunMetrics(suite.Runs)
-		return json.Marshal(suite.Report(opt.Scale))
+		s.foldRunMetrics(suite.Metrics, suite.Runs)
+		b, err := json.Marshal(suite.Report(opt.Scale))
+		return b, suite.Metrics, suite.Stages, err
 	}
 	kr, err := bench.RunOneCtx(e.ctx, e.spec.Specs()[0], opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, bench.StageTimes{}, err
 	}
 	runs := []*bench.KernelRun{kr}
-	s.foldRunMetrics(runs)
-	return json.Marshal(bench.BuildJSON(runs, opt.Scale))
+	met := bench.CollectMetrics(runs)
+	s.foldRunMetrics(met, runs)
+	b, err := json.Marshal(bench.BuildJSON(runs, opt.Scale))
+	return b, met, kr.Stages, err
 }
 
 // foldRunMetrics accumulates completed runs' simulated metrics into the
 // /metrics exposition and their host-side stage split into the per-stage
 // latency histograms.
-func (s *Server) foldRunMetrics(runs []*bench.KernelRun) {
-	s.simReg.Merge(bench.CollectMetrics(runs))
+func (s *Server) foldRunMetrics(met *trace.Registry, runs []*bench.KernelRun) {
+	s.simReg.Merge(met)
 	for _, kr := range runs {
 		s.reg.Observe("vgiwd/stage_instance_ms", kr.Stages.Instance.Milliseconds())
 		s.reg.Observe("vgiwd/stage_compile_ms", kr.Stages.Compile.Milliseconds())
@@ -412,13 +525,20 @@ func (s *Server) foldRunMetrics(runs []*bench.KernelRun) {
 	}
 }
 
-// WriteMetrics renders the merged server + simulation registries as
-// Prometheus text exposition.
-func (s *Server) WriteMetrics(w io.Writer) error {
+// SnapshotRegistry merges the server's own counters with the accumulated
+// simulation metrics into one registry — the same view /metrics exposes,
+// reusable for the shutdown snapshot the daemon persists to the store.
+func (s *Server) SnapshotRegistry() *trace.Registry {
 	merged := trace.NewRegistry()
 	merged.Merge(s.reg)
 	merged.Merge(s.simReg)
-	return merged.WritePrometheus(w)
+	return merged
+}
+
+// WriteMetrics renders the merged server + simulation registries as
+// Prometheus text exposition.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.SnapshotRegistry().WritePrometheus(w)
 }
 
 // Draining reports whether Shutdown has begun (readyz turns 503).

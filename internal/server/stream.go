@@ -1,0 +1,171 @@
+package server
+
+// Live job streaming: GET /v1/jobs/{id}/events pushes the job's trace events
+// over Server-Sent Events as the simulation emits them, then a final metrics
+// snapshot and a done frame. Each connection owns a bounded subscriber ring
+// on the execution's trace.Sink; a slow or disconnected consumer drops
+// events — counted in vgiwd/stream_dropped — and never slows the simulator
+// or cancels the job. Every `trace` frame's data payload is byte-identical
+// to the record GET /v1/jobs/{id}/trace exports for the same event, so a
+// lossless stream is an in-order prefix of the final Chrome trace.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"vgiw/internal/trace"
+)
+
+// Subscriber ring bounds for ?buf= (events buffered per connection).
+const (
+	defaultStreamBuf = 4096
+	maxStreamBuf     = 1 << 16
+)
+
+// writeSSE emits one Server-Sent Event frame.
+func writeSSE(w io.Writer, event string, data []byte) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// writeTraceFrame renders one trace event as an SSE frame whose data bytes
+// match the Chrome exporter's record for the same event.
+func writeTraceFrame(w io.Writer, e *trace.Event) error {
+	b, err := trace.MarshalChromeEvent(e)
+	if err != nil {
+		return err
+	}
+	return writeSSE(w, "trace", b)
+}
+
+// handleEvents streams a traced job's events live. The job must have been
+// submitted with "trace": true; it need not be finished — a stream opened
+// mid-run replays what the sink retains and follows the live flow.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !j.Spec.Trace {
+		writeError(w, http.StatusConflict, "job was not submitted with trace enabled")
+		return
+	}
+	buf := defaultStreamBuf
+	if v := r.URL.Query().Get("buf"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "buf must be a positive integer")
+			return
+		}
+		buf = min(n, maxStreamBuf)
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	sink := j.exec.sink
+	sub, replay := sink.Subscribe(buf)
+	defer func() {
+		// The ring's losses feed the metric whether the stream ended cleanly
+		// or the client vanished mid-run.
+		if n := sink.Unsubscribe(sub); n > 0 {
+			s.reg.Add("vgiwd/stream_dropped", n)
+		}
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	for i := range replay {
+		if writeTraceFrame(w, &replay[i]) != nil {
+			return // client went away; the job keeps running
+		}
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case e, open := <-sub.C():
+			if !open {
+				// Sink released out from under us; end what we can.
+				s.finishStream(w, j)
+				fl.Flush()
+				return
+			}
+			if writeTraceFrame(w, &e) != nil {
+				return
+			}
+			if len(sub.C()) == 0 {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return // disconnect cancels nothing
+		case <-j.exec.done:
+			// Emission has ceased (results publish after the simulators
+			// return), so draining the ring completes the event flow.
+			s.drainRing(w, sub)
+			s.finishStream(w, j)
+			fl.Flush()
+			return
+		case <-j.done:
+			// The job detached (deadline or cancel) while the shared
+			// execution lives on; this stream's claim ends with its job.
+			s.drainRing(w, sub)
+			s.finishStream(w, j)
+			fl.Flush()
+			return
+		}
+	}
+}
+
+// drainRing forwards whatever the subscriber ring still buffers.
+func (s *Server) drainRing(w io.Writer, sub *trace.Subscriber) {
+	for {
+		select {
+		case e, open := <-sub.C():
+			if !open {
+				return
+			}
+			if writeTraceFrame(w, &e) != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// finishStream closes a stream with the run's metrics snapshot (when one
+// exists) and a final done frame carrying the job's terminal state.
+func (s *Server) finishStream(w io.Writer, j *Job) {
+	s.mu.Lock()
+	state, reason := j.stateLocked()
+	met := j.exec.metrics
+	s.mu.Unlock()
+	if met != nil {
+		if b, err := json.Marshal(met); err == nil {
+			if writeSSE(w, "metrics", b) != nil {
+				return
+			}
+		}
+	}
+	final := struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Reason string `json:"reason,omitempty"`
+	}{ID: j.ID, State: state, Reason: reason}
+	b, err := json.Marshal(final)
+	if err != nil {
+		return
+	}
+	writeSSE(w, "done", b) //nolint:errcheck // stream is ending either way
+}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/trace"
+)
+
+func TestKeyContentAddressing(t *testing.T) {
+	a := bench.JobSpec{Kernel: "bfs.kernel1", Scale: 2}
+	b := bench.JobSpec{Kernel: "bfs.kernel1", Scale: 2, TimeoutMS: 5000}
+	if Key(a) != Key(b) {
+		t.Error("TimeoutMS leaked into the content key")
+	}
+	c := bench.JobSpec{Kernel: "bfs.kernel1", Scale: 3}
+	if Key(a) == Key(c) {
+		t.Error("different specs share a key")
+	}
+	if len(Key(a)) != 64 {
+		t.Errorf("key %q is not hex sha256", Key(a))
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := bench.JobSpec{Kernel: "bfs.kernel1"}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	result := json.RawMessage(`{"scale":1,"runs":[{"kernel":"bfs.kernel1"}]}`)
+	reg := trace.NewRegistry()
+	reg.Set("bfs.kernel1/vgiw.cycles", 1234)
+	ent := &Entry{
+		Spec:    spec.Key(),
+		Host:    NewHostMeta(),
+		StageMS: StageMS{Simulate: 12.5},
+		Result:  result,
+		Metrics: &trace.Snapshot{Schema: trace.MetricsSchema, Scale: 1, Metrics: reg.Flat()},
+	}
+	if err := s.Put(ent); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.Get(Key(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("stored entry missing")
+	}
+	if !bytes.Equal(got.Result, result) {
+		t.Errorf("result not byte-identical: %s vs %s", got.Result, result)
+	}
+	if got.Kind != "kernel" || got.Schema != Schema || got.Spec != spec.Key() {
+		t.Errorf("entry envelope wrong: %+v", got)
+	}
+	if got.Metrics == nil || got.Metrics.Metrics["bfs.kernel1/vgiw.cycles"] != 1234 {
+		t.Errorf("metrics snapshot lost: %+v", got.Metrics)
+	}
+	if got.Created.IsZero() {
+		t.Error("Created not stamped")
+	}
+	if got.Host.Go == "" || got.Host.OS == "" {
+		t.Errorf("host meta empty: %+v", got.Host)
+	}
+
+	// Unknown key: clean miss, no error.
+	if e, err := s.Get(Key(bench.JobSpec{Suite: true})); e != nil || err != nil {
+		t.Errorf("miss = (%v, %v), want (nil, nil)", e, err)
+	}
+}
+
+func TestGetRejectsCorruptAndMismatched(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	spec := bench.JobSpec{Kernel: "bfs.kernel1", Scale: 1}
+	key := Key(spec)
+
+	// Corrupt JSON under a valid key name: error, not a crash or a hit.
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); err == nil {
+		t.Error("corrupt entry served without error")
+	}
+
+	// An entry filed under the wrong key must be rejected by the self-check.
+	other := bench.JobSpec{Kernel: "bfs.kernel2", Scale: 1}
+	if err := s.Put(&Entry{Spec: other, Result: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, Key(other)+".json"), filepath.Join(dir, key+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); err == nil {
+		t.Error("cross-filed entry served without error")
+	}
+}
+
+func TestListStableOrder(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	specs := []bench.JobSpec{
+		{Kernel: "bfs.kernel2", Scale: 1},
+		{Kernel: "bfs.kernel1", Scale: 1},
+		{Kernel: "bfs.kernel1", Scale: 2},
+	}
+	for i, sp := range specs {
+		ent := &Entry{Spec: sp, Result: json.RawMessage(`{}`), Created: base.Add(time.Duration(2-i) * time.Hour)}
+		if err := s.Put(ent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d entries, want 3", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Created.Before(list[i-1].Created) {
+			t.Errorf("list not ordered by Created: %v after %v", list[i].Created, list[i-1].Created)
+		}
+	}
+	// The scale-2 entry was created first and must list first.
+	if list[0].Spec.Scale != 2 {
+		t.Errorf("oldest entry not first: %+v", list[0].Spec)
+	}
+}
+
+func TestSnapshotRoundTripAndListExclusion(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	reg := trace.NewRegistry()
+	reg.Add("vgiwd/jobs_completed", 7)
+	if err := s.PutSnapshot("shutdown", reg, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.ReadSnapshot("shutdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Metrics["vgiwd/jobs_completed"] != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Snapshots must not pollute the entry listing.
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Errorf("snapshot leaked into List(): %+v", list)
+	}
+	// Missing snapshot: clean miss.
+	if snap, err := s.ReadSnapshot("nope"); snap != nil || err != nil {
+		t.Errorf("missing snapshot = (%v, %v), want (nil, nil)", snap, err)
+	}
+}
+
+func TestNilStoreIsDisabled(t *testing.T) {
+	var s *Store
+	if s2, err := Open(""); s2 != nil || err != nil {
+		t.Fatalf("Open(\"\") = (%v, %v), want (nil, nil)", s2, err)
+	}
+	if e, err := s.Get("abc"); e != nil || err != nil {
+		t.Error("nil store Get not a miss")
+	}
+	if err := s.Put(&Entry{}); err != nil {
+		t.Error("nil store Put errored")
+	}
+	if l, err := s.List(); l != nil || err != nil {
+		t.Error("nil store List not empty")
+	}
+	if err := s.PutSnapshot("x", nil, 0); err != nil {
+		t.Error("nil store PutSnapshot errored")
+	}
+	if s.Dir() != "" {
+		t.Error("nil store has a dir")
+	}
+}

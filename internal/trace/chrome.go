@@ -32,6 +32,44 @@ type chromeMeta struct {
 	Args map[string]string `json:"args"`
 }
 
+// chromeRecord renders one event as its Chrome trace-event record — the
+// single source of truth for both the file exporter and the SSE stream, so
+// a live stream replays exactly what the export would contain.
+func chromeRecord(e *Event) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Name,
+		Ph:   string(rune(e.Phase)),
+		Pid:  e.Track.Pid,
+		Tid:  e.Track.Tid,
+		Ts:   e.Ts,
+		Cat:  e.Cat.String(),
+	}
+	if e.Phase == PhaseSpan {
+		d := e.Dur
+		ce.Dur = &d
+	}
+	if e.Phase == PhaseInstant {
+		ce.S = "t" // thread-scoped instant
+	}
+	if e.K1 != "" {
+		ce.Args = map[string]int64{e.K1: e.V1}
+		if e.K2 != "" {
+			ce.Args[e.K2] = e.V2
+		}
+		if e.K3 != "" {
+			ce.Args[e.K3] = e.V3
+		}
+	}
+	return ce
+}
+
+// MarshalChromeEvent renders one event as the same standalone JSON record
+// WriteChromeTrace would emit for it, for streaming consumers (the daemon's
+// SSE endpoint frames these as `data:` payloads).
+func MarshalChromeEvent(e *Event) ([]byte, error) {
+	return json.Marshal(chromeRecord(e))
+}
+
 // WriteChromeTrace exports the retained events as Chrome trace-event JSON
 // ({"traceEvents": [...]}). Timestamps are simulated cycles (the viewer's
 // time unit is microseconds; 1 us == 1 cycle here). Events appear
@@ -99,31 +137,7 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 		if exportErr != nil {
 			return
 		}
-		ce := chromeEvent{
-			Name: e.Name,
-			Ph:   string(rune(e.Phase)),
-			Pid:  e.Track.Pid,
-			Tid:  e.Track.Tid,
-			Ts:   e.Ts,
-			Cat:  e.Cat.String(),
-		}
-		if e.Phase == PhaseSpan {
-			d := e.Dur
-			ce.Dur = &d
-		}
-		if e.Phase == PhaseInstant {
-			ce.S = "t" // thread-scoped instant
-		}
-		if e.K1 != "" {
-			ce.Args = map[string]int64{e.K1: e.V1}
-			if e.K2 != "" {
-				ce.Args[e.K2] = e.V2
-			}
-			if e.K3 != "" {
-				ce.Args[e.K3] = e.V3
-			}
-		}
-		exportErr = emit(ce)
+		exportErr = emit(chromeRecord(e))
 	})
 	if exportErr != nil {
 		return exportErr

@@ -1,0 +1,102 @@
+package trace
+
+// Live streaming: subscribers tee the event flow out of a Sink as it is
+// recorded, without ever slowing the simulation down. Each Subscriber owns a
+// bounded ring (a buffered channel); Emit offers each recorded event to
+// every subscriber with a non-blocking send, so a slow or disconnected
+// consumer loses events — counted per subscriber — while the simulator never
+// waits. The disabled-sink contract is untouched: a nil sink or a filtered
+// category returns before any subscriber work, so the engine's zero-alloc
+// hot path (TestEngineHotPathZeroAllocDisabledSink) is unaffected.
+
+// Subscriber is one live consumer of a sink's event flow. Receive from C();
+// the channel closes when the subscriber is removed (Unsubscribe or sink
+// Release).
+type Subscriber struct {
+	ch      chan Event
+	dropped uint64 // events lost to a full ring; guarded by the sink's mu
+}
+
+// C is the subscriber's event channel.
+func (u *Subscriber) C() <-chan Event { return u.ch }
+
+// Subscribe registers a live consumer with a ring of the given capacity
+// (minimum 1) and atomically returns a replay of the events the sink has
+// already retained: the replay plus the channel flow reproduce, in order and
+// without duplication, every event recorded from the sink's ring onward.
+// A nil sink has no event flow and returns (nil, nil).
+func (s *Sink) Subscribe(buf int) (*Subscriber, []Event) {
+	if s == nil {
+		return nil, nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	u := &Subscriber{ch: make(chan Event, buf)}
+	s.mu.Lock()
+	replay := make([]Event, 0, s.lenLocked())
+	s.forEach(func(e *Event) { replay = append(replay, *e) })
+	s.subs = append(s.subs, u)
+	s.mu.Unlock()
+	return u, replay
+}
+
+// Unsubscribe removes a subscriber and closes its channel, returning how
+// many events it lost to ring overflow. Safe to call once per subscriber;
+// unknown subscribers report 0. A nil sink (paired with the nil subscriber
+// Subscribe returned) is a no-op.
+func (s *Sink) Unsubscribe(u *Subscriber) uint64 {
+	if s == nil || u == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, got := range s.subs {
+		if got == u {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			s.streamDropped += u.dropped
+			close(u.ch)
+			return u.dropped
+		}
+	}
+	return 0
+}
+
+// StreamDropped reports the total events lost across all past and present
+// subscribers (the stream_dropped metric's source of truth on the sink side).
+func (s *Sink) StreamDropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.streamDropped
+	for _, u := range s.subs {
+		n += u.dropped
+	}
+	return n
+}
+
+// publishLocked offers one recorded event to every subscriber without
+// blocking. Caller holds mu (Emit's lock), so subscriber bookkeeping needs
+// no atomics.
+//
+//vgiw:hotpath
+func (s *Sink) publishLocked(e Event) {
+	for _, u := range s.subs {
+		select {
+		case u.ch <- e:
+		default:
+			u.dropped++
+		}
+	}
+}
+
+// lenLocked counts retained events. Caller holds mu.
+func (s *Sink) lenLocked() int {
+	n := 0
+	for _, b := range s.blocks {
+		n += b.n
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func ev(name string, ts int64) Event {
+	return Event{Name: name, Cat: CatVGIW, Phase: PhaseInstant, Ts: ts}
+}
+
+// TestSubscribeReplayThenLive pins the no-gap/no-dup contract: Subscribe
+// atomically returns what the sink already holds, and everything emitted
+// afterwards arrives on the channel, in order.
+func TestSubscribeReplayThenLive(t *testing.T) {
+	s := NewSink(CatAll)
+	s.Emit(ev("a", 1))
+	s.Emit(ev("b", 2))
+
+	sub, replay := s.Subscribe(16)
+	if len(replay) != 2 || replay[0].Name != "a" || replay[1].Name != "b" {
+		t.Fatalf("replay = %+v", replay)
+	}
+
+	s.Emit(ev("c", 3))
+	s.Emit(ev("d", 4))
+	for i, want := range []string{"c", "d"} {
+		got := <-sub.C()
+		if got.Name != want {
+			t.Errorf("live event %d = %q, want %q", i, got.Name, want)
+		}
+	}
+	if n := s.Unsubscribe(sub); n != 0 {
+		t.Errorf("dropped = %d, want 0", n)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Error("channel not closed after Unsubscribe")
+	}
+	// Emitting after unsubscribe must not panic or misroute.
+	s.Emit(ev("e", 5))
+}
+
+// TestSubscriberOverflowDrops pins the non-blocking discipline: a full ring
+// drops (counted), never stalls the emitter.
+func TestSubscriberOverflowDrops(t *testing.T) {
+	s := NewSink(CatAll)
+	sub, _ := s.Subscribe(1)
+	for i := 0; i < 5; i++ {
+		s.Emit(ev("x", int64(i)))
+	}
+	if got := s.StreamDropped(); got != 4 {
+		t.Errorf("StreamDropped = %d, want 4", got)
+	}
+	if e := <-sub.C(); e.Ts != 0 {
+		t.Errorf("survivor = %+v, want the first event", e)
+	}
+	if n := s.Unsubscribe(sub); n != 4 {
+		t.Errorf("Unsubscribe dropped = %d, want 4", n)
+	}
+	// Drop history survives the subscriber's departure.
+	if got := s.StreamDropped(); got != 4 {
+		t.Errorf("StreamDropped after unsubscribe = %d, want 4", got)
+	}
+}
+
+// TestSubscriberFilteredSink verifies masked categories never reach
+// subscribers (the tee sits behind the existing category mask).
+func TestSubscriberFilteredSink(t *testing.T) {
+	s := NewSink(CatVGIW)
+	sub, _ := s.Subscribe(4)
+	s.Emit(Event{Name: "lvc", Cat: CatLVC, Phase: PhaseInstant, Ts: 1})
+	s.Emit(ev("keep", 2))
+	got := <-sub.C()
+	if got.Name != "keep" {
+		t.Errorf("received %q, want the unfiltered event", got.Name)
+	}
+	if s.StreamDropped() != 0 {
+		t.Error("filtered event counted as a stream drop")
+	}
+	s.Unsubscribe(sub)
+}
+
+func TestSubscribeNilSink(t *testing.T) {
+	var s *Sink
+	sub, replay := s.Subscribe(8)
+	if sub != nil || replay != nil {
+		t.Errorf("nil sink Subscribe = (%v, %v)", sub, replay)
+	}
+	if n := s.Unsubscribe(sub); n != 0 {
+		t.Errorf("nil Unsubscribe = %d", n)
+	}
+	if s.StreamDropped() != 0 {
+		t.Error("nil StreamDropped != 0")
+	}
+}
+
+// TestReleaseClosesSubscribers: releasing the sink ends live streams instead
+// of leaking blocked readers.
+func TestReleaseClosesSubscribers(t *testing.T) {
+	s := NewSink(CatAll)
+	sub, _ := s.Subscribe(1)
+	s.Emit(ev("a", 1))
+	s.Emit(ev("b", 2)) // overflows the ring
+	s.Release()
+	<-sub.C() // buffered survivor
+	if _, ok := <-sub.C(); ok {
+		t.Error("channel not closed by Release")
+	}
+	if got := s.StreamDropped(); got != 1 {
+		t.Errorf("StreamDropped after Release = %d, want 1", got)
+	}
+}
+
+// TestMarshalChromeEventMatchesExport guarantees the SSE frame for an event
+// is byte-identical to the record WriteChromeTrace emits for it — the
+// property the daemon's /events endpoint builds its prefix contract on.
+func TestMarshalChromeEventMatchesExport(t *testing.T) {
+	s := NewSink(CatAll)
+	events := []Event{
+		{Name: "span", Cat: CatVGIW, Phase: PhaseSpan, Ts: 10, Dur: 5, K1: "threads", V1: 64},
+		{Name: "inst", Cat: CatCVT, Phase: PhaseInstant, Ts: 11},
+		{Name: "ctr", Cat: CatMem, Phase: PhaseCounter, Ts: 12, K1: "hits", V1: 3, K2: "misses", V2: 1},
+	}
+	for _, e := range events {
+		s.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		b, err := MarshalChromeEvent(&e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(buf.Bytes(), b) {
+			t.Errorf("export does not contain the standalone record %s:\n%s", b, buf.Bytes())
+		}
+	}
+}

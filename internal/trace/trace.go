@@ -177,6 +177,11 @@ type Sink struct {
 	maxBlk  int
 	dropped uint64 // events lost to ring wrap-around
 
+	// Live streaming (stream.go): registered subscribers plus the drop
+	// count already accumulated by departed ones.
+	subs          []*Subscriber
+	streamDropped uint64
+
 	nextPid int32
 	procs   map[int32]string
 	tracks  map[TrackID]string
@@ -232,6 +237,9 @@ func (s *Sink) Emit(e Event) {
 	}
 	blk.ev[blk.n] = e
 	blk.n++
+	if len(s.subs) > 0 {
+		s.publishLocked(e)
+	}
 	s.mu.Unlock()
 }
 
@@ -285,11 +293,7 @@ func (s *Sink) Len() int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, b := range s.blocks {
-		n += b.n
-	}
-	return n
+	return s.lenLocked()
 }
 
 // forEach visits retained events oldest-first. Caller must hold mu.
@@ -315,6 +319,12 @@ func (s *Sink) Release() {
 	}
 	s.blocks = nil
 	s.head = 0
+	// End any live streams: their event flow is over.
+	for _, u := range s.subs {
+		s.streamDropped += u.dropped
+		close(u.ch)
+	}
+	s.subs = nil
 	s.mu.Unlock()
 }
 
