@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-record trace-check serve-check gate-check lint verify-check fuzz-smoke fmt
+.PHONY: check build test vet race bench bench-record trace-check serve-check fleet-check gate-check lint verify-check fuzz-smoke fmt
 
 # check is the full pre-merge gate: static checks (go vet plus the
 # repo-specific vgiwlint), the test suite under the race detector, the
 # verifier gates (invalid-kernel corpus, checked pipelines, a short fuzz
 # smoke), one iteration of each perf-guard benchmark (allocs/op regressions
 # show up even at -benchtime=1x), the trace/metrics schema gate, the metric
-# regression gate against the checked-in baselines, and the daemon smoke
-# test.
-check: vet lint build race verify-check fuzz-smoke bench trace-check gate-check serve-check
+# regression gate against the checked-in baselines, the daemon smoke test,
+# and the fleet sweep gate (3 workers, a mid-sweep SIGKILL, byte-identical
+# merged results).
+check: vet lint build race verify-check fuzz-smoke bench trace-check gate-check serve-check fleet-check
 
 # lint runs the repo-specific static checks: hotpath allocation bans,
 # trace.Sink nil-receiver guards, strided context polling (cmd/vgiwlint).
@@ -53,10 +54,17 @@ ENGINE_BENCH = BenchmarkEngineHotPath|BenchmarkEngineVector|BenchmarkEngineFast
 # counts and conflict rates) ride the same trajectory file; -threads 0 skips
 # the threads/sec derivation, which only makes sense for the engine scenarios.
 MEM_BENCH = BenchmarkMemAccessWord|BenchmarkMemAccessVector
+# The fleet coordinator microbenchmark pushes a 64-job matrix through the
+# full dispatch path (ledger, scheduling, HTTP round-trip) against an
+# instant stub worker, so ns/op is pure coordination overhead; it rides the
+# same trajectory file with -threads 0 (threads/sec is an engine notion).
+FLEET_BENCH = BenchmarkCoordinatorDispatch
 bench:
 	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime 100x ./internal/engine/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -check
 	$(GO) test -run '^$$' -bench '$(MEM_BENCH)' -benchtime 2000x ./internal/mem/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 0 -check
+	$(GO) test -run '^$$' -bench '$(FLEET_BENCH)' -benchtime 20x ./internal/fleet/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 0 -check
 	$(GO) test -run '^$$' -bench BenchmarkRunAllParallel -benchtime 1x ./internal/bench/
 	$(GO) test -run '^$$' -bench BenchmarkSuiteColdVsWarm -benchtime 1x ./internal/bench/
@@ -68,6 +76,8 @@ bench-record:
 	$(GO) test -run '^$$' -bench '$(ENGINE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 512 -record
 	$(GO) test -run '^$$' -bench '$(MEM_BENCH)' -benchtime 20000x -count 3 ./internal/mem/ | \
+		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 0 -record
+	$(GO) test -run '^$$' -bench '$(FLEET_BENCH)' -benchtime 100x -count 3 ./internal/fleet/ | \
 		$(GO) run ./cmd/benchrecord -file BENCH_engine.json -threads 0 -record
 
 # trace-check runs one small kernel on all three backends with tracing on,
@@ -93,6 +103,15 @@ gate-check:
 # back byte-identical (see cmd/vgiwd/main_test.go).
 serve-check:
 	$(GO) test -run TestServeCheck ./cmd/vgiwd
+
+# fleet-check is the distributed-sweep acceptance gate: boot three real
+# vgiwd workers sharing one result store, push a registry matrix (plus a
+# duplicate spec) through vgiwctl, and require the merged report to be
+# byte-identical to a single-process RunMatrix with every unique key
+# executed exactly once fleet-wide — then repeat with one worker SIGKILLed
+# mid-sweep (see cmd/vgiwctl/main_test.go).
+fleet-check:
+	$(GO) test -run TestFleetCheck ./cmd/vgiwctl
 
 fmt:
 	gofmt -l .

@@ -1,0 +1,287 @@
+// vgiwctl is the fleet sweep client: it shards a JobSpec matrix across a
+// fleet of vgiwd workers, rides out worker deaths and overload, and merges
+// the per-kernel results into one canonical report — byte-identical to a
+// single-process run of the same matrix.
+//
+// Usage:
+//
+//	vgiwctl -workers http://a:8077,http://b:8077            # full registry
+//	vgiwctl -workers ... -kernels bfs.kernel1,bfs.kernel2   # named kernels
+//	vgiwctl -workers ... -specs matrix.json                 # explicit matrix
+//	vgiwctl -workers ... -store-dir /shared/results         # fleet dedup store
+//	vgiwctl -store-dir /shared/results -history             # combined history
+//
+// The merged report (canonical form: host telemetry stripped) goes to
+// stdout; progress and the final fleet metrics go to stderr. With
+// -metrics-addr the coordinator serves live /metrics and the combined
+// /v1/history while the sweep runs. Exit status is 0 only when every task
+// completed.
+//
+// The -store-dir should be the same directory the workers run with: results
+// any worker persists short-circuit dispatch fleet-wide, so a re-run (or a
+// sweep overlapping an earlier one) only executes the keys that are new.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/fleet"
+	"vgiw/internal/kernels"
+	"vgiw/internal/server"
+	"vgiw/internal/store"
+	"vgiw/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vgiwctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workersFlag = fs.String("workers", "", "comma-separated vgiwd base URLs (required for sweeps)")
+		kernelsFlag = fs.String("kernels", "all", `kernel matrix: "all" (the registry) or a comma-separated name list`)
+		specsFile   = fs.String("specs", "", "JSON file holding an explicit matrix ([]JobSpec); overrides -kernels")
+		scale       = fs.Int("scale", 0, "workload scale factor for the kernel matrix (0 = 1)")
+		lvcKB       = fs.Int("lvc-kb", 0, "LVC capacity override, KiB (0 = default)")
+		cvtBits     = fs.Int("cvt-bits", 0, "CVT bit-budget override (0 = default)")
+		memPolicy   = fs.String("mem", "", `L1 write policy: "", "writeback", "writethrough"`)
+		skipSGMF    = fs.Bool("skip-sgmf", false, "skip the SGMF baseline runs")
+		fast        = fs.Bool("fast", false, "functional-only engine mode (no cycle accounting)")
+		verify      = fs.Bool("verify", false, "run the IR verifier and placed-graph checker per stage")
+		tenant      = fs.String("tenant", "", "tenant the sweep is accounted to (default: server default)")
+		jobTimeout  = fs.Duration("job-timeout", 0, "per-job deadline, one dispatch attempt (0 = 2m)")
+		retries     = fs.Int("retries", 0, "retry budget per job after the first attempt (0 = 3)")
+		slots       = fs.Int("slots", 0, "concurrent in-flight jobs per worker (0 = 2)")
+		queue       = fs.Int("queue", 0, "bounded dispatch queue per worker (0 = 2x slots)")
+		quota       = fs.Int("quota", 0, "per-tenant in-custody job cap (0 = unlimited)")
+		storeDir    = fs.String("store-dir", "", "shared result store (same directory the workers use)")
+		metricsAddr = fs.String("metrics-addr", "", "serve coordinator /metrics and /v1/history here during the sweep")
+		outPath     = fs.String("out", "", "write the merged report here instead of stdout")
+		ledgerPath  = fs.String("ledger", "", `write the per-task dispatch ledger (JSON) here ("-" = stderr)`)
+		progress    = fs.Bool("progress", false, "log per-job fleet events to stderr")
+		history     = fs.Bool("history", false, "list the shared store's combined history and exit")
+		showVersion = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String())
+		return 0
+	}
+	if *history {
+		return runHistory(*storeDir, stdout, stderr)
+	}
+
+	var workers []string
+	for _, w := range strings.Split(*workersFlag, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(workers) == 0 {
+		fmt.Fprintln(stderr, "vgiwctl: -workers is required (comma-separated vgiwd URLs)")
+		return 2
+	}
+
+	tasks, err := buildMatrix(*specsFile, *kernelsFlag, bench.JobSpec{
+		Scale: *scale, LVCKB: *lvcKB, CVTBits: *cvtBits, Mem: *memPolicy,
+		SkipSGMF: *skipSGMF, Fast: *fast, Verify: *verify,
+	}, *tenant)
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 2
+	}
+
+	cfg := fleet.Config{
+		Workers:        workers,
+		Tenant:         *tenant,
+		TenantQuota:    *quota,
+		SlotsPerWorker: *slots,
+		QueuePerWorker: *queue,
+		RetryBudget:    *retries,
+		JobTimeout:     *jobTimeout,
+		StoreDir:       *storeDir,
+	}
+	if *progress {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+	}
+	coord, err := fleet.NewCoordinator(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 2
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "vgiwctl: metrics listener: %v\n", err)
+			return 2
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "vgiwctl: serving fleet metrics on %s\n", ln.Addr())
+		go http.Serve(ln, coord.Handler()) //nolint:errcheck // dies with the process
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	start := time.Now()
+	res, runErr := coord.Run(ctx, tasks)
+	if res == nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", runErr)
+		return 1
+	}
+	fmt.Fprintf(stderr, "vgiwctl: sweep: %d tasks, %d unique keys, %d failed, %.1fs\n",
+		len(res.Tasks), res.UniqueKeys, res.Failed, time.Since(start).Seconds())
+
+	if *ledgerPath != "" {
+		if err := writeLedger(*ledgerPath, res, stderr); err != nil {
+			fmt.Fprintf(stderr, "vgiwctl: ledger: %v\n", err)
+		}
+	}
+	fmt.Fprintln(stderr, "vgiwctl: fleet metrics:")
+	coord.Metrics().WritePrometheus(stderr) //nolint:errcheck // diagnostic output
+
+	if runErr != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", runErr)
+		return 1
+	}
+	rep, err := res.MergedReport()
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 1
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
+			fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if _, err := stdout.Write(doc); err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// buildMatrix resolves the task list: an explicit -specs file, or the
+// -kernels set with the shared design-space knobs applied.
+func buildMatrix(specsFile, kernelList string, knobs bench.JobSpec, tenant string) ([]fleet.Task, error) {
+	if specsFile != "" {
+		raw, err := os.ReadFile(specsFile)
+		if err != nil {
+			return nil, err
+		}
+		var specs []bench.JobSpec
+		if err := json.Unmarshal(raw, &specs); err != nil {
+			return nil, fmt.Errorf("%s: %w", specsFile, err)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("%s: empty matrix", specsFile)
+		}
+		tasks := make([]fleet.Task, len(specs))
+		for i, s := range specs {
+			tasks[i] = fleet.Task{Spec: s, Tenant: tenant}
+		}
+		return tasks, nil
+	}
+	var names []string
+	if kernelList == "all" {
+		for _, k := range kernels.All() {
+			names = append(names, k.Name)
+		}
+	} else {
+		for _, n := range strings.Split(kernelList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, errors.New("empty kernel list")
+	}
+	tasks := make([]fleet.Task, len(names))
+	for i, name := range names {
+		spec := knobs
+		spec.Kernel = name
+		tasks[i] = fleet.Task{Spec: spec, Tenant: tenant}
+	}
+	return tasks, nil
+}
+
+// runHistory lists the shared store — the combined view across every worker
+// that writes to it.
+func runHistory(dir string, stdout, stderr io.Writer) int {
+	if dir == "" {
+		fmt.Fprintln(stderr, "vgiwctl: -history needs -store-dir")
+		return 2
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 1
+	}
+	entries, lerr := st.List()
+	out := make([]server.HistoryEntry, 0, len(entries))
+	for _, e := range entries {
+		h := server.HistoryEntry{
+			Key: e.Key, Kind: e.Kind, Kernel: e.Spec.Kernel,
+			Spec: e.Spec, Created: e.Created, Host: e.Host,
+		}
+		if e.Metrics != nil {
+			h.Metrics = len(e.Metrics.Metrics)
+		}
+		out = append(out, h)
+	}
+	doc, err := json.MarshalIndent(struct {
+		Entries []server.HistoryEntry `json:"entries"`
+	}{out}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "vgiwctl: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, string(doc))
+	if lerr != nil {
+		fmt.Fprintf(stderr, "vgiwctl: skipped unreadable entries: %v\n", lerr)
+	}
+	return 0
+}
+
+// writeLedger dumps the per-task dispatch ledger: which worker served each
+// key, after how many attempts, and from which cache tier.
+func writeLedger(path string, res *fleet.Result, stderr io.Writer) error {
+	doc, err := json.MarshalIndent(res.Tasks, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if path == "-" {
+		_, err = stderr.Write(doc)
+		return err
+	}
+	return os.WriteFile(path, doc, 0o644)
+}

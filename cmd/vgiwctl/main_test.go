@@ -1,0 +1,322 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/fleet"
+	"vgiw/internal/kernels"
+)
+
+// buildDaemon compiles the real vgiwd binary into a temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "vgiwd")
+	build := exec.Command("go", "build", "-o", bin, "vgiw/cmd/vgiwd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build vgiwd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startWorker boots one vgiwd process on an ephemeral port with the shared
+// store and waits for its bound-address announcement.
+func startWorker(t *testing.T, bin, storeDir string) (daemon *exec.Cmd, base string) {
+	t.Helper()
+	daemon = exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1",
+		"-queue", "16", "-store-dir", storeDir)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = io.Discard
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { daemon.Process.Kill() }) //nolint:errcheck // backstop
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "vgiwd listening on "); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("worker never announced its address")
+	}
+	go io.Copy(io.Discard, stdout) //nolint:errcheck // keep the pipe drained
+	return daemon, base
+}
+
+// workerMetrics scrapes one worker's /metrics into a flat map.
+func workerMetrics(t *testing.T, base string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	m, err := fleet.ParseMetrics(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// expectedReport runs the same matrix single-process and renders it exactly
+// as vgiwctl does: canonical form, two-space indent, trailing newline.
+func expectedReport(t *testing.T, specs []bench.JobSpec) []byte {
+	t.Helper()
+	var kspecs []kernels.Spec
+	for _, s := range specs {
+		ks, ok := kernels.ByName(s.Kernel)
+		if !ok {
+			t.Fatalf("unknown kernel %q", s.Kernel)
+		}
+		kspecs = append(kspecs, ks)
+	}
+	runs, err := bench.RunMatrix(kspecs, bench.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.MarshalIndent(bench.BuildJSON(runs, 1).Canonical(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(doc, '\n')
+}
+
+// registryMatrix is the full kernel registry as a JobSpec matrix.
+func registryMatrix() []bench.JobSpec {
+	var specs []bench.JobSpec
+	for _, k := range kernels.All() {
+		specs = append(specs, bench.JobSpec{Kernel: k.Name})
+	}
+	return specs
+}
+
+// TestFleetCheck is the `make fleet-check` gate: three real vgiwd workers
+// sharing one result store, a registry matrix swept through vgiwctl, and
+// the merged report required byte-identical to a single-process run — once
+// on a healthy fleet (with a duplicate spec to pin fleet-wide dedup and the
+// exactly-once execution count), and once with a worker SIGKILLed
+// mid-sweep.
+func TestFleetCheck(t *testing.T) {
+	bin := buildDaemon(t)
+
+	t.Run("clean", func(t *testing.T) {
+		storeDir := filepath.Join(t.TempDir(), "store")
+		var bases []string
+		for i := 0; i < 3; i++ {
+			_, base := startWorker(t, bin, storeDir)
+			bases = append(bases, base)
+		}
+
+		// Registry matrix plus one duplicate: the dup must ride the ledger,
+		// not execute again.
+		specs := registryMatrix()
+		specs = append(specs, specs[0])
+		specsPath := filepath.Join(t.TempDir(), "matrix.json")
+		raw, err := json.Marshal(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(specsPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-workers", strings.Join(bases, ","),
+			"-specs", specsPath,
+			"-store-dir", storeDir,
+			"-progress",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("vgiwctl exited %d\nstderr:\n%s", code, stderr.String())
+		}
+
+		want := expectedReport(t, specs)
+		if !bytes.Equal(stdout.Bytes(), want) {
+			t.Errorf("fleet report differs from single-process run:\n%s\nvs\n%s", stdout.Bytes(), want)
+		}
+
+		// Exactly-once fleet-wide: the three workers' execution counters sum
+		// to the unique-key count — no key ran twice, the duplicate ran zero
+		// extra times.
+		unique := uint64(len(specs) - 1)
+		var executed uint64
+		for _, base := range bases {
+			executed += workerMetrics(t, base)["vgiwd/runs_executed"]
+		}
+		if executed != unique {
+			t.Errorf("fleet executed %d runs, want exactly %d (one per unique key)", executed, unique)
+		}
+		// The coordinator flushes its own metrics to stderr; the dedup and
+		// completion counters must agree.
+		cm, err := fleet.ParseMetrics(bytes.NewReader(stderr.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm["fleet/jobs_deduped"] != 1 {
+			t.Errorf("fleet/jobs_deduped = %d, want 1\nstderr:\n%s", cm["fleet/jobs_deduped"], stderr.String())
+		}
+		if cm["fleet/jobs_completed"] != unique {
+			t.Errorf("fleet/jobs_completed = %d, want %d", cm["fleet/jobs_completed"], unique)
+		}
+	})
+
+	t.Run("chaos", func(t *testing.T) {
+		storeDir := filepath.Join(t.TempDir(), "store")
+		var daemons []*exec.Cmd
+		var bases []string
+		for i := 0; i < 3; i++ {
+			d, base := startWorker(t, bin, storeDir)
+			daemons = append(daemons, d)
+			bases = append(bases, base)
+		}
+
+		specs := registryMatrix()
+		done := make(chan int, 1)
+		var stdout, stderr bytes.Buffer
+		go func() {
+			done <- run([]string{
+				"-workers", strings.Join(bases, ","),
+				"-kernels", "all",
+				"-store-dir", storeDir,
+				"-progress",
+			}, &stdout, &stderr)
+		}()
+
+		// SIGKILL the busiest worker as soon as the sweep has reached the
+		// fleet: admission counters move within the first dispatches, which
+		// leaves most of the matrix still to run after the kill.
+		killed := false
+		deadline := time.Now().Add(30 * time.Second)
+		for !killed {
+			if time.Now().After(deadline) {
+				t.Fatal("no worker ever admitted a job")
+			}
+			busiest, most := -1, uint64(0)
+			for i, base := range bases {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					continue
+				}
+				m, _ := fleet.ParseMetrics(resp.Body)
+				resp.Body.Close()
+				if n := m["vgiwd/jobs_admitted"]; n > most {
+					busiest, most = i, n
+				}
+			}
+			if busiest >= 0 {
+				if err := daemons[busiest].Process.Kill(); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("SIGKILLed worker %d (%s) holding %d admitted jobs", busiest, bases[busiest], most)
+				killed = true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		var code int
+		select {
+		case code = <-done:
+		case <-time.After(5 * time.Minute):
+			t.Fatal("sweep did not finish after the kill")
+		}
+		if code != 0 {
+			t.Fatalf("vgiwctl exited %d\nstderr:\n%s", code, stderr.String())
+		}
+
+		want := expectedReport(t, specs)
+		if !bytes.Equal(stdout.Bytes(), want) {
+			t.Errorf("post-kill fleet report differs from single-process run:\n%s\nvs\n%s", stdout.Bytes(), want)
+		}
+
+		cm, err := fleet.ParseMetrics(bytes.NewReader(stderr.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cm["fleet/worker_deaths"] < 1 {
+			t.Errorf("fleet/worker_deaths = %d, want >= 1\nstderr:\n%s", cm["fleet/worker_deaths"], stderr.String())
+		}
+		// Every unique key terminal-done exactly once in the ledger, kill or
+		// no kill.
+		if cm["fleet/jobs_completed"] != uint64(len(specs)) {
+			t.Errorf("fleet/jobs_completed = %d, want %d", cm["fleet/jobs_completed"], len(specs))
+		}
+		if cm["fleet/jobs_failed"] != 0 {
+			t.Errorf("fleet/jobs_failed = %d, want 0", cm["fleet/jobs_failed"])
+		}
+	})
+}
+
+// TestVersionFlag pins the -version fast path.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exited %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "vgiw ") {
+		t.Errorf("-version output %q", stdout.String())
+	}
+}
+
+// TestHistoryFlag pins the combined-history listing against an empty store.
+func TestHistoryFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	dir := t.TempDir()
+	if code := run([]string{"-history", "-store-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-history exited %d\n%s", code, stderr.String())
+	}
+	var out struct {
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("bad history document %q: %v", stdout.String(), err)
+	}
+	if len(out.Entries) != 0 {
+		t.Errorf("empty store lists %d entries", len(out.Entries))
+	}
+	if code := run([]string{"-history"}, &stdout, &stderr); code != 2 {
+		t.Error("-history without -store-dir should be a usage error")
+	}
+}
+
+// TestBuildMatrix pins the matrix construction paths.
+func TestBuildMatrix(t *testing.T) {
+	tasks, err := buildMatrix("", "all", bench.JobSpec{Scale: 2}, "team-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != len(kernels.All()) {
+		t.Errorf("all-matrix has %d tasks, want %d", len(tasks), len(kernels.All()))
+	}
+	if tasks[0].Spec.Scale != 2 || tasks[0].Tenant != "team-a" {
+		t.Errorf("knobs not applied: %+v", tasks[0])
+	}
+	tasks, err = buildMatrix("", "bfs.kernel1, bfs.kernel2", bench.JobSpec{}, "")
+	if err != nil || len(tasks) != 2 || tasks[1].Spec.Kernel != "bfs.kernel2" {
+		t.Errorf("named list: %v %+v", err, tasks)
+	}
+	if _, err := buildMatrix("", " , ", bench.JobSpec{}, ""); err == nil {
+		t.Error("empty kernel list should be rejected")
+	}
+	if _, err := buildMatrix(filepath.Join(t.TempDir(), "missing.json"), "", bench.JobSpec{}, ""); err == nil {
+		t.Error("missing specs file should be rejected")
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"vgiw/internal/kernels"
+)
+
+// TestMergeReportMatchesBuildJSON is the merge half of the fleet
+// byte-identity contract: per-kernel reports produced independently (as N
+// vgiwd workers would), round-tripped through JSON, and merged with
+// MergeReport must marshal byte-identically to a single BuildJSON over the
+// same runs, once both sides are reduced to their canonical (host-telemetry-
+// free) form. The kernel set deliberately includes an SGMF-mappable kernel
+// and a non-mappable one, so the SGMF geomean inclusion rule is exercised.
+func TestMergeReportMatchesBuildJSON(t *testing.T) {
+	names := []string{"bfs.kernel1", "bfs.kernel2"} // kernel2 is SGMF-mappable
+	opt := DefaultOptions()
+	var runs []*KernelRun
+	var rows []JSONRun
+	for _, name := range names {
+		spec, ok := kernels.ByName(name)
+		if !ok {
+			t.Fatalf("unknown kernel %q", name)
+		}
+		kr, err := RunOne(spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, kr)
+
+		// One worker's view: a single-run report, serialized and parsed back
+		// exactly as the coordinator receives it over HTTP.
+		wire, err := json.Marshal(BuildJSON([]*KernelRun{kr}, opt.Scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep JSONReport
+		if err := json.Unmarshal(wire, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Runs) != 1 {
+			t.Fatalf("single-kernel report has %d runs", len(rep.Runs))
+		}
+		rows = append(rows, rep.Runs[0])
+	}
+
+	local, err := json.Marshal(BuildJSON(runs, opt.Scale).Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := json.Marshal(MergeReport(rows, opt.Scale).Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, merged) {
+		t.Errorf("merged report differs from single-process report:\n%s\nvs\n%s", merged, local)
+	}
+}
+
+// TestCanonicalStripsHostTelemetry pins that Canonical zeroes every
+// host-side field (and only copies, never mutates, the receiver's rows).
+func TestCanonicalStripsHostTelemetry(t *testing.T) {
+	rep := JSONReport{
+		Scale:           2,
+		Runs:            []JSONRun{{Kernel: "k", ElapsedMS: 1, InstanceMS: 2, CompileMS: 3, PlaceMS: 4, SimulateMS: 5, VGIWCycles: 77}},
+		WallClockMS:     9,
+		Parallelism:     8,
+		Mallocs:         7,
+		StageInstanceMS: 6,
+		StageCompileMS:  5,
+		StagePlaceMS:    4,
+		StageSimulateMS: 3,
+		CacheHits:       2,
+		CacheMisses:     1,
+	}
+	c := rep.Canonical()
+	if c.WallClockMS != 0 || c.Parallelism != 0 || c.Mallocs != 0 ||
+		c.StageInstanceMS != 0 || c.StageCompileMS != 0 || c.StagePlaceMS != 0 || c.StageSimulateMS != 0 ||
+		c.CacheHits != 0 || c.CacheMisses != 0 {
+		t.Errorf("report-level telemetry survived Canonical: %+v", c)
+	}
+	if r := c.Runs[0]; r.ElapsedMS != 0 || r.InstanceMS != 0 || r.CompileMS != 0 || r.PlaceMS != 0 || r.SimulateMS != 0 {
+		t.Errorf("run-level telemetry survived Canonical: %+v", r)
+	}
+	if c.Runs[0].VGIWCycles != 77 || c.Scale != 2 {
+		t.Errorf("Canonical damaged simulated content: %+v", c)
+	}
+	if rep.Runs[0].ElapsedMS != 1 {
+		t.Errorf("Canonical mutated the receiver's rows: %+v", rep.Runs[0])
+	}
+}

@@ -1,0 +1,301 @@
+// Package fleet is the distributed sweep tier: a coordinator that shards
+// bench.JobSpec matrices across a fleet of vgiwd workers over the existing
+// HTTP/JSON job API and merges the per-kernel results into one report that
+// is byte-identical (in canonical, host-telemetry-free form) to a
+// single-process bench.RunMatrix over the same matrix.
+//
+// The package has three layers:
+//
+//   - Client: a reusable Go client for one vgiwd worker — submit/poll/
+//     cancel with the tenant header, 429 + Retry-After honored via jittered
+//     exponential backoff, per-job deadlines via context, /readyz probing,
+//     and /metrics scraping.
+//   - Coordinator: work-stealing dispatch over per-worker bounded queues
+//     with per-tenant quotas and fair round-robin admission, worker
+//     lifecycle tracking with requeue-on-death and a capped per-job retry
+//     budget, and a fleet-wide exactly-once key ledger (plus a shared
+//     result store, so disk hits from any worker short-circuit dispatch).
+//   - Observability: a fleet metrics registry (dispatched/stolen/retried/
+//     deduped/... counters, per-tenant queue depths) and a combined history
+//     view over the shared store.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/server"
+)
+
+// Backoff shapes the client's retry schedule for 429 (and other retriable)
+// responses: exponential from Base, capped at Max, with the delay spread
+// over ±Jitter/2 of itself so a fleet of clients rejected together does not
+// retry together. A Retry-After hint from the server replaces the computed
+// delay when it is longer (still capped at Max — the schedule must stay
+// responsive to cancellation tests and drains).
+type Backoff struct {
+	Base   time.Duration // first retry delay (0 = 100ms)
+	Max    time.Duration // delay cap (0 = 5s)
+	Jitter float64       // fraction of the delay randomized, in [0,1] (0 = deterministic)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	return b
+}
+
+// Delay computes the attempt-th (0-based) retry delay, folding in an
+// optional Retry-After hint from the server.
+func (b Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 0; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		j := time.Duration(float64(d) * b.Jitter)
+		d += time.Duration(rand.Int63n(int64(j)+1)) - j/2
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// APIError is a non-2xx response from a worker, carrying the HTTP status
+// and the server's error message.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fleet: worker status %d: %s", e.Status, e.Msg)
+}
+
+// Permanent reports whether err is a worker response that retrying cannot
+// fix: a 4xx other than 408 (request timeout) and 429 (overload). Bad specs
+// and unknown kernels stay bad on every worker; overload and transport
+// errors do not.
+func Permanent(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Status >= 400 && ae.Status < 500 &&
+		ae.Status != http.StatusRequestTimeout && ae.Status != http.StatusTooManyRequests
+}
+
+// Client talks to one vgiwd worker. The zero value is not usable; set Base.
+// Methods are safe for concurrent use.
+type Client struct {
+	Base    string // worker base URL, e.g. "http://127.0.0.1:8077"
+	Tenant  string // X-VGIW-Tenant attached to submissions ("" = server default)
+	Backoff Backoff
+	// HTTP is the underlying client (nil = http.DefaultClient). Leave its
+	// Timeout zero: submissions long-poll with ?wait=1 and are bounded by
+	// the per-call context instead.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response; non-2xx statuses
+// come back as *APIError with the server's message.
+func (c *Client) do(req *http.Request, into any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	return c.decode(resp, into)
+}
+
+// Submit posts one job. With wait, the call long-polls until the job is
+// terminal (or ctx expires — the per-job deadline). 429 responses are
+// retried here with the backoff schedule, honoring the server's Retry-After
+// in both its seconds and HTTP-date forms; every other failure is returned
+// to the caller, which owns requeue/retry policy across workers. Each retry
+// iteration is a whole HTTP request plus a backoff sleep, so the per-
+// iteration ctx check is coarse.
+//
+//vgiw:coarsepoll
+func (c *Client) Submit(ctx context.Context, spec bench.JobSpec, wait bool) (*server.JobView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	url := c.Base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.Tenant != "" {
+			req.Header.Set(server.TenantHeader, c.Tenant)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			hint, _ := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			select {
+			case <-time.After(c.Backoff.Delay(attempt, hint)):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		var v server.JobView
+		if err := c.decode(resp, &v); err != nil {
+			return nil, err
+		}
+		return &v, nil
+	}
+}
+
+// decode drains and parses an already-issued response; non-2xx statuses
+// come back as *APIError with the server's message.
+func (c *Client) decode(resp *http.Response, into any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(raw, &ae) //nolint:errcheck // best effort; fall back to raw body
+		msg := ae.Error
+		if msg == "" {
+			msg = strings.TrimSpace(string(raw))
+		}
+		return &APIError{Status: resp.StatusCode, Msg: msg}
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, into)
+}
+
+// Job fetches one job's status; with wait it long-polls until terminal.
+func (c *Client) Job(ctx context.Context, id string, wait bool) (*server.JobView, error) {
+	url := c.Base + "/v1/jobs/" + id
+	if wait {
+		url += "?wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	var v server.JobView
+	if err := c.do(req, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Cancel detaches a job by ID.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Ready probes /readyz: nil means the worker is up and not draining.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Msg: "not ready"}
+	}
+	return nil
+}
+
+// Metrics scrapes the worker's Prometheus exposition into a flat
+// name → value map (vgiw_metric samples only — counters and gauges; the
+// histogram families are not needed for fleet accounting).
+func (c *Client) Metrics(ctx context.Context) (map[string]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{Status: resp.StatusCode, Msg: "metrics scrape failed"}
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics reads `vgiw_metric{name="..."} N` samples out of a
+// Prometheus text exposition.
+func ParseMetrics(r io.Reader) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, `vgiw_metric{name="`)
+		if !ok {
+			continue
+		}
+		name, rest, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			continue // histogram means etc. are not plain integers
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,702 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vgiw/internal/bench"
+	"vgiw/internal/server"
+	"vgiw/internal/store"
+	"vgiw/internal/trace"
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	// Workers are the vgiwd base URLs the matrix is sharded across.
+	Workers []string
+	// Tenant is the default tenant for tasks that carry none.
+	Tenant string
+	// TenantQuota caps how many of one tenant's jobs may be admitted to
+	// worker queues (queued + in flight) at once, so one tenant's burst
+	// cannot starve the others. 0 = unlimited.
+	TenantQuota int
+	// SlotsPerWorker is the number of concurrent in-flight jobs per worker
+	// (0 = 2 — matching vgiwd's default worker pool).
+	SlotsPerWorker int
+	// QueuePerWorker bounds each worker's local dispatch queue, beyond the
+	// in-flight slots (0 = 2×slots). Bounded queues keep the sharding
+	// honest: a slow worker's backlog stays small enough to steal.
+	QueuePerWorker int
+	// RetryBudget is how many times one job may be re-dispatched after its
+	// first attempt before it is failed (0 = 3).
+	RetryBudget int
+	// JobTimeout is the per-job client-side deadline covering one dispatch
+	// attempt, queue wait on the worker included (0 = 2m).
+	JobTimeout time.Duration
+	// ProbeInterval is the /readyz probe cadence per worker (0 = 250ms);
+	// ProbeFailures consecutive failures mark a worker dead (0 = 2). A dead
+	// worker's queue is requeued and a recovered probe revives it.
+	ProbeInterval time.Duration
+	ProbeFailures int
+	// StoreDir is the fleet-shared result store. When set, the coordinator
+	// consults it before every dispatch, so a result persisted by ANY
+	// worker (including one that died before answering) short-circuits
+	// re-execution. Point the workers' -store-dir at the same directory.
+	StoreDir string
+	// Backoff shapes the per-worker clients' 429 retry schedule.
+	Backoff Backoff
+	// Logf, when non-nil, receives one line per notable fleet event
+	// (dispatch outcomes, steals, deaths, requeues) for progress reporting.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenant == "" {
+		c.Tenant = server.DefaultTenant
+	}
+	if c.SlotsPerWorker <= 0 {
+		c.SlotsPerWorker = 2
+	}
+	if c.QueuePerWorker <= 0 {
+		c.QueuePerWorker = 2 * c.SlotsPerWorker
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 2
+	}
+	return c
+}
+
+// Task is one cell of the sweep matrix: a job spec plus the tenant it is
+// accounted to.
+type Task struct {
+	Spec   bench.JobSpec `json:"spec"`
+	Tenant string        `json:"tenant,omitempty"`
+}
+
+// Task/ledger states.
+const (
+	statePending = iota
+	stateQueued
+	stateInflight
+	stateDone
+	stateFailed
+)
+
+// entry is one unique content key's ledger record. Duplicate tasks in the
+// matrix attach to one entry — the fleet-wide analogue of the daemon's
+// singleflight — so each key is dispatched at most once at a time and
+// completed at most once overall.
+type entry struct {
+	key    string        // store.Key of the normalized spec
+	spec   bench.JobSpec // normalized
+	tenant string        // tenant charged for the dispatch (first submitter)
+	tasks  []int         // input task indexes sharing this key
+
+	state    int
+	charged  bool   // counted against tenant quota (admitted to a worker queue)
+	attempts int    // dispatch attempts so far
+	worker   string // URL that produced the result
+	cached   string // "" (real execution), "store" (worker disk), "disk" (coordinator short-circuit)
+	result   json.RawMessage
+	err      error
+}
+
+// TaskResult reports one input task's outcome, in input order.
+type TaskResult struct {
+	Index    int    `json:"index"`
+	Key      string `json:"key"`
+	Kernel   string `json:"kernel,omitempty"`
+	Tenant   string `json:"tenant"`
+	State    string `json:"state"` // "done" or "failed"
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts"`
+	// Cached is "" for a real execution, "store" when the worker served its
+	// shared-store copy, "disk" when the coordinator short-circuited
+	// dispatch from the shared store, and "ledger" for a duplicate key that
+	// attached to another task's entry.
+	Cached string          `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"-"`
+}
+
+// Result is one sweep's outcome.
+type Result struct {
+	Tasks  []TaskResult
+	Failed int
+	// UniqueKeys is the ledger size: the number of distinct content keys in
+	// the matrix — the fleet-wide exactly-once denominator.
+	UniqueKeys int
+}
+
+// Coordinator shards a JobSpec matrix across a fleet of vgiwd workers. One
+// coordinator runs one sweep at a time; its metrics registry accumulates
+// across sweeps.
+type Coordinator struct {
+	cfg     Config
+	reg     *trace.Registry
+	st      *store.Store
+	workers []*worker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	running bool
+	stopped bool
+
+	// Sweep state, guarded by mu.
+	entries     map[string]*entry
+	tenantOrder []string
+	tenantQ     map[string][]*entry
+	rr          int
+	admitted    map[string]int // per-tenant jobs in worker custody
+	outstanding int            // non-terminal entries
+}
+
+// worker is one vgiwd instance's dispatch state.
+type worker struct {
+	name   string // metric label: w0, w1, ...
+	url    string
+	client *Client
+
+	// Guarded by the coordinator mutex.
+	queue      []*entry
+	healthy    bool
+	probeFails int
+}
+
+// NewCoordinator builds a coordinator for the given fleet.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	if !server.ValidTenant(cfg.Tenant) {
+		return nil, fmt.Errorf("fleet: invalid tenant %q", cfg.Tenant)
+	}
+	st, err := store.Open(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, reg: trace.NewRegistry(), st: st}
+	c.cond = sync.NewCond(&c.mu)
+	for i, url := range cfg.Workers {
+		c.workers = append(c.workers, &worker{
+			name:    fmt.Sprintf("w%d", i),
+			url:     url,
+			healthy: true,
+			client:  &Client{Base: url, Backoff: cfg.Backoff},
+		})
+	}
+	// Pre-touch the counters the chaos gate pins, so they are explicit
+	// zeros on a quiet sweep.
+	for _, name := range []string{
+		"fleet/jobs_total", "fleet/jobs_deduped", "fleet/jobs_dispatched",
+		"fleet/jobs_completed", "fleet/jobs_executed", "fleet/jobs_failed",
+		"fleet/jobs_retried", "fleet/jobs_requeued", "fleet/jobs_stolen",
+		"fleet/store_hits", "fleet/worker_store_hits",
+		"fleet/worker_deaths", "fleet/worker_revivals",
+	} {
+		c.reg.Add(name, 0)
+	}
+	return c, nil
+}
+
+// Metrics exposes the coordinator's registry (the /metrics view).
+func (c *Coordinator) Metrics() *trace.Registry { return c.reg }
+
+// Store exposes the shared result store (nil when StoreDir is empty) for
+// the combined history view.
+func (c *Coordinator) Store() *store.Store { return c.st }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run shards the matrix across the fleet and blocks until every unique key
+// is terminal or ctx is done. The returned Result reports per-task outcomes
+// in input order; the error is non-nil when ctx expired or any task failed
+// permanently.
+func (c *Coordinator) Run(ctx context.Context, tasks []Task) (*Result, error) {
+	c.mu.Lock()
+	if c.running {
+		c.mu.Unlock()
+		return nil, errors.New("fleet: coordinator already running a sweep")
+	}
+	c.running = true
+	c.stopped = false
+	c.entries = make(map[string]*entry)
+	c.tenantOrder = nil
+	c.tenantQ = make(map[string][]*entry)
+	c.rr = 0
+	c.admitted = make(map[string]int)
+	c.outstanding = 0
+
+	// Build the ledger: normalize, key, dedup. Order within a tenant is
+	// matrix order; tenants round-robin at admission.
+	order := make([]*entry, 0, len(tasks))
+	badTask := make([]error, len(tasks))
+	for i, t := range tasks {
+		tenant := t.Tenant
+		if tenant == "" {
+			tenant = c.cfg.Tenant
+		}
+		spec := t.Spec
+		if err := spec.Normalize(); err != nil {
+			badTask[i] = err
+			continue
+		}
+		if !server.ValidTenant(tenant) {
+			badTask[i] = fmt.Errorf("fleet: invalid tenant %q", tenant)
+			continue
+		}
+		key := store.Key(spec)
+		c.reg.Add("fleet/jobs_total", 1)
+		if e, ok := c.entries[key]; ok {
+			e.tasks = append(e.tasks, i)
+			c.reg.Add("fleet/jobs_deduped", 1)
+			continue
+		}
+		e := &entry{key: key, spec: spec, tenant: tenant, tasks: []int{i}, state: statePending}
+		c.entries[key] = e
+		order = append(order, e)
+		if _, ok := c.tenantQ[tenant]; !ok {
+			c.tenantOrder = append(c.tenantOrder, tenant)
+		}
+		c.tenantQ[tenant] = append(c.tenantQ[tenant], e)
+		c.outstanding++
+	}
+	uniqueKeys := len(order)
+	c.fillLocked()
+	c.mu.Unlock()
+
+	// The probe and slot goroutines live for this sweep.
+	sweepCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) { defer wg.Done(); c.probe(sweepCtx, w) }(w)
+		for s := 0; s < c.cfg.SlotsPerWorker; s++ {
+			wg.Add(1)
+			go func(w *worker) { defer wg.Done(); c.slot(sweepCtx, w) }(w)
+		}
+	}
+
+	// Propagate ctx cancellation into the cond so waiters wake.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-sweepCtx.Done()
+		c.mu.Lock()
+		c.stopped = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
+
+	c.mu.Lock()
+	for c.outstanding > 0 && !c.stopped {
+		c.cond.Wait()
+	}
+	interrupted := c.outstanding > 0
+	c.mu.Unlock()
+
+	cancel()
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.running = false
+	res := &Result{Tasks: make([]TaskResult, len(tasks)), UniqueKeys: uniqueKeys}
+	var errs []error
+	for i, t := range tasks {
+		tr := TaskResult{Index: i, Kernel: t.Spec.Kernel, Tenant: t.Tenant}
+		if tr.Tenant == "" {
+			tr.Tenant = c.cfg.Tenant
+		}
+		if badTask[i] != nil {
+			tr.State = "failed"
+			tr.Error = badTask[i].Error()
+			res.Failed++
+			errs = append(errs, fmt.Errorf("task %d: %w", i, badTask[i]))
+			res.Tasks[i] = tr
+			continue
+		}
+		spec := t.Spec
+		spec.Normalize() //nolint:errcheck // validated above
+		e := c.entries[store.Key(spec)]
+		tr.Key = e.key
+		tr.Worker = e.worker
+		tr.Attempts = e.attempts
+		tr.Cached = e.cached
+		if i != e.tasks[0] {
+			tr.Cached = "ledger" // duplicate key: rode another task's entry
+		}
+		switch e.state {
+		case stateDone:
+			tr.State = "done"
+			tr.Result = e.result
+		default:
+			tr.State = "failed"
+			msg := "sweep interrupted before dispatch"
+			if e.err != nil {
+				msg = e.err.Error()
+			}
+			tr.Error = msg
+			res.Failed++
+			if i == e.tasks[0] {
+				errs = append(errs, fmt.Errorf("task %d (%s): %s", i, t.Spec.Kernel, msg))
+			}
+		}
+		res.Tasks[i] = tr
+	}
+	if interrupted {
+		errs = append(errs, ctx.Err())
+	}
+	return res, errors.Join(errs...)
+}
+
+// fillLocked admits pending entries into worker queues: one task per tenant
+// per round-robin turn, each to the shortest healthy queue with room,
+// respecting per-tenant quotas. Called whenever capacity or work appears.
+func (c *Coordinator) fillLocked() {
+	for {
+		n := len(c.tenantOrder)
+		if n == 0 {
+			return
+		}
+		admitted := false
+		for i := 0; i < n; i++ {
+			tenant := c.tenantOrder[(c.rr+i)%n]
+			q := c.tenantQ[tenant]
+			if len(q) == 0 {
+				continue
+			}
+			if c.cfg.TenantQuota > 0 && c.admitted[tenant] >= c.cfg.TenantQuota {
+				continue
+			}
+			w := c.pickWorkerLocked()
+			if w == nil {
+				return // no queue capacity anywhere; next completion refills
+			}
+			e := q[0]
+			c.tenantQ[tenant] = q[1:]
+			e.state = stateQueued
+			e.charged = true
+			w.queue = append(w.queue, e)
+			c.admitted[tenant]++
+			c.rr = (c.rr + i + 1) % n
+			c.reg.Set("fleet/tenant_pending/"+tenant, uint64(len(c.tenantQ[tenant])))
+			admitted = true
+			break
+		}
+		if !admitted {
+			return
+		}
+		c.cond.Broadcast()
+	}
+}
+
+// pickWorkerLocked returns the healthy worker with the shortest non-full
+// queue, or nil.
+func (c *Coordinator) pickWorkerLocked() *worker {
+	var best *worker
+	for _, w := range c.workers {
+		if !w.healthy || len(w.queue) >= c.cfg.QueuePerWorker {
+			continue
+		}
+		if best == nil || len(w.queue) < len(best.queue) {
+			best = w
+		}
+	}
+	return best
+}
+
+// takeLocked pops the next entry for one of w's slots: its own queue first,
+// else stolen from the back of the longest other healthy queue.
+func (c *Coordinator) takeLocked(w *worker) *entry {
+	if !w.healthy {
+		return nil // a dead worker's slots idle until the prober revives it
+	}
+	if len(w.queue) > 0 {
+		e := w.queue[0]
+		w.queue = w.queue[1:]
+		c.fillLocked()
+		return e
+	}
+	var victim *worker
+	for _, v := range c.workers {
+		if v == w || !v.healthy || len(v.queue) == 0 {
+			continue
+		}
+		if victim == nil || len(v.queue) > len(victim.queue) {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	e := victim.queue[len(victim.queue)-1]
+	victim.queue = victim.queue[:len(victim.queue)-1]
+	c.reg.Add("fleet/jobs_stolen", 1)
+	c.logf("fleet: %s stole %s (%s) from %s", w.name, e.key[:12], e.spec.Kernel, victim.name)
+	c.fillLocked()
+	return e
+}
+
+// slot is one worker's dispatch loop: claim a job (own queue, else steal),
+// run it to a terminal state, repeat. Each iteration is a whole HTTP job
+// round-trip, so polling ctx once per iteration is coarse.
+//
+//vgiw:coarsepoll
+func (c *Coordinator) slot(ctx context.Context, w *worker) {
+	for ctx.Err() == nil {
+		c.mu.Lock()
+		var e *entry
+		for {
+			if c.stopped || c.outstanding == 0 {
+				c.mu.Unlock()
+				return
+			}
+			if e = c.takeLocked(w); e != nil {
+				break
+			}
+			c.cond.Wait()
+		}
+		e.state = stateInflight
+		c.mu.Unlock()
+		c.dispatch(ctx, w, e)
+	}
+}
+
+// dispatch runs one entry to a terminal state or requeues it: shared-store
+// short-circuit first, then a submit-and-wait against w with the per-job
+// deadline, then outcome classification (done / permanent failure /
+// retriable with budget).
+func (c *Coordinator) dispatch(ctx context.Context, w *worker, e *entry) {
+	// Disk hits from any worker short-circuit dispatch: a key persisted by
+	// a worker that died before answering is served from the shared store
+	// on retry instead of re-executing.
+	if c.st != nil {
+		if ent, err := c.st.Get(e.key); err == nil && ent != nil {
+			c.mu.Lock()
+			c.reg.Add("fleet/store_hits", 1)
+			c.finishLocked(e, w, "disk", ent.Result, nil)
+			c.mu.Unlock()
+			return
+		}
+	}
+
+	c.reg.Add("fleet/jobs_dispatched", 1)
+	c.reg.Add("fleet/worker_dispatched/"+w.name, 1)
+	jctx, cancel := context.WithTimeout(ctx, c.cfg.JobTimeout)
+	cl := *w.client // shallow copy to stamp the entry's tenant on the submit
+	cl.Tenant = e.tenant
+	view, err := cl.Submit(jctx, e.spec, true)
+	if err == nil && !view.Terminal() {
+		// wait=1 normally returns terminal; poll defensively if not.
+		view, err = c.pollTerminal(jctx, w, view.ID)
+	}
+	cancel()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err == nil && view.State == server.StateDone:
+		if view.Cached == "store" {
+			c.reg.Add("fleet/worker_store_hits", 1)
+		} else {
+			c.reg.Add("fleet/jobs_executed", 1)
+		}
+		c.finishLocked(e, w, view.Cached, view.Result, nil)
+	case err == nil && view.State == server.StateFailed:
+		c.finishLocked(e, w, "", nil, fmt.Errorf("fleet: %s failed on %s: %s", e.spec.Kernel, w.url, view.Reason))
+	default:
+		// Cancelled on the worker (its deadline or drain), a transport
+		// error, a 5xx, or our own job deadline: retriable.
+		if err == nil {
+			err = fmt.Errorf("fleet: job %s on %s: %s", view.ID, w.url, view.State)
+		}
+		if Permanent(err) {
+			c.finishLocked(e, w, "", nil, err)
+			return
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) && ctx.Err() == nil {
+			// Transport-level failure: treat as probe evidence so a killed
+			// worker is detected at dispatch speed, not probe cadence.
+			w.probeFails++
+			if w.healthy && w.probeFails >= c.cfg.ProbeFailures {
+				c.killLocked(w)
+			}
+		}
+		c.requeueLocked(e, w, err)
+	}
+}
+
+// pollTerminal polls one job until it reaches a terminal state. Each
+// iteration is an HTTP status fetch plus a sleep — coarse by construction.
+//
+//vgiw:coarsepoll
+func (c *Coordinator) pollTerminal(ctx context.Context, w *worker, id string) (*server.JobView, error) {
+	for {
+		view, err := w.client.Job(ctx, id, true)
+		if err != nil {
+			return nil, err
+		}
+		if view.Terminal() {
+			return view, nil
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// finishLocked makes an entry terminal and releases its quota charge.
+func (c *Coordinator) finishLocked(e *entry, w *worker, cached string, result json.RawMessage, err error) {
+	if e.charged {
+		e.charged = false
+		c.admitted[e.tenant]--
+	}
+	e.attempts++
+	e.worker = w.url
+	e.cached = cached
+	e.result = result
+	e.err = err
+	if err == nil {
+		e.state = stateDone
+		c.reg.Add("fleet/jobs_completed", 1)
+		c.logf("fleet: done %s (%s) on %s cached=%q attempts=%d", e.key[:12], e.spec.Kernel, w.name, cached, e.attempts)
+	} else {
+		e.state = stateFailed
+		c.reg.Add("fleet/jobs_failed", 1)
+		c.logf("fleet: FAILED %s (%s): %v", e.key[:12], e.spec.Kernel, err)
+	}
+	c.outstanding--
+	c.fillLocked()
+	c.cond.Broadcast()
+}
+
+// requeueLocked sends a failed attempt back to the front of its tenant's
+// pending queue — unless its retry budget is spent, which fails it.
+func (c *Coordinator) requeueLocked(e *entry, w *worker, cause error) {
+	e.attempts++
+	if e.attempts > c.cfg.RetryBudget {
+		e.attempts-- // finishLocked re-counts the final attempt
+		c.finishLocked(e, w, "", nil, fmt.Errorf("fleet: retry budget (%d) exhausted: %w", c.cfg.RetryBudget, cause))
+		return
+	}
+	if e.charged {
+		e.charged = false
+		c.admitted[e.tenant]--
+	}
+	e.state = statePending
+	c.tenantQ[e.tenant] = append([]*entry{e}, c.tenantQ[e.tenant]...)
+	c.reg.Add("fleet/jobs_retried", 1)
+	c.reg.Set("fleet/tenant_pending/"+e.tenant, uint64(len(c.tenantQ[e.tenant])))
+	c.logf("fleet: retry %s (%s) after %s: %v (attempt %d/%d)",
+		e.key[:12], e.spec.Kernel, w.name, cause, e.attempts, c.cfg.RetryBudget)
+	c.fillLocked()
+	c.cond.Broadcast()
+}
+
+// killLocked marks a worker dead and requeues everything it held.
+func (c *Coordinator) killLocked(w *worker) {
+	w.healthy = false
+	c.reg.Add("fleet/worker_deaths", 1)
+	c.logf("fleet: worker %s (%s) marked dead; requeueing %d queued jobs", w.name, w.url, len(w.queue))
+	for _, e := range w.queue {
+		if e.charged {
+			e.charged = false
+			c.admitted[e.tenant]--
+		}
+		e.state = statePending
+		c.tenantQ[e.tenant] = append(c.tenantQ[e.tenant], e)
+		c.reg.Add("fleet/jobs_requeued", 1)
+		c.reg.Set("fleet/tenant_pending/"+e.tenant, uint64(len(c.tenantQ[e.tenant])))
+	}
+	w.queue = nil
+	c.fillLocked()
+	c.cond.Broadcast()
+}
+
+// probe tracks one worker's lifecycle over /readyz: consecutive failures
+// kill it (requeueing its queue), a success revives it. Iterations are
+// ticker-paced HTTP probes, so the ctx polling is coarse.
+//
+//vgiw:coarsepoll
+func (c *Coordinator) probe(ctx context.Context, w *worker) {
+	tick := time.NewTicker(c.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeInterval*4)
+		err := w.client.Ready(pctx)
+		cancel()
+		c.mu.Lock()
+		if err == nil {
+			w.probeFails = 0
+			if !w.healthy {
+				w.healthy = true
+				c.reg.Add("fleet/worker_revivals", 1)
+				c.logf("fleet: worker %s (%s) revived", w.name, w.url)
+				c.fillLocked()
+				c.cond.Broadcast()
+			}
+		} else if ctx.Err() == nil {
+			w.probeFails++
+			if w.healthy && w.probeFails >= c.cfg.ProbeFailures {
+				c.killLocked(w)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// MergedReport merges a successful kernel-matrix sweep into one canonical
+// suite report: per-task rows in matrix order, geomeans recomputed, host
+// telemetry stripped — byte-identical to a single-process
+// bench.RunMatrix + BuildJSON over the same matrix, in canonical form.
+func (r *Result) MergedReport() (bench.JSONReport, error) {
+	rows := make([]bench.JSONRun, 0, len(r.Tasks))
+	scale := 0
+	for _, tr := range r.Tasks {
+		if tr.State != "done" {
+			return bench.JSONReport{}, fmt.Errorf("fleet: task %d (%s) %s: %s", tr.Index, tr.Kernel, tr.State, tr.Error)
+		}
+		if tr.Kernel == "" {
+			return bench.JSONReport{}, fmt.Errorf("fleet: task %d is not a kernel job; merged reports cover kernel matrices", tr.Index)
+		}
+		var rep bench.JSONReport
+		if err := json.Unmarshal(tr.Result, &rep); err != nil {
+			return bench.JSONReport{}, fmt.Errorf("fleet: task %d result: %w", tr.Index, err)
+		}
+		if len(rep.Runs) != 1 {
+			return bench.JSONReport{}, fmt.Errorf("fleet: task %d result carries %d runs, want 1", tr.Index, len(rep.Runs))
+		}
+		if scale == 0 {
+			scale = rep.Scale
+		}
+		rows = append(rows, rep.Runs[0])
+	}
+	return bench.MergeReport(rows, scale).Canonical(), nil
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"vgiw/internal/server"
+)
+
+// Handler serves the coordinator's observability surface:
+//
+//	GET /metrics          fleet counters (dispatched/stolen/retried/deduped,
+//	                      per-tenant queue depths) in the same Prometheus
+//	                      exposition the workers use
+//	GET /v1/history       combined sweep history: the shared store listing —
+//	                      one view over every worker's persisted results
+//	GET /v1/history/{key} one stored entry in full
+//
+// Mount it on vgiwctl's -metrics-addr to watch a sweep from outside.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	mux.HandleFunc("GET /v1/history", func(w http.ResponseWriter, r *http.Request) {
+		if c.st == nil {
+			httpError(w, http.StatusNotFound, "no shared store; run vgiwctl with -store-dir")
+			return
+		}
+		entries, lerr := c.st.List()
+		out := make([]server.HistoryEntry, 0, len(entries))
+		for _, e := range entries {
+			h := server.HistoryEntry{
+				Key:     e.Key,
+				Kind:    e.Kind,
+				Kernel:  e.Spec.Kernel,
+				Spec:    e.Spec,
+				Created: e.Created,
+				Host:    e.Host,
+			}
+			if e.Metrics != nil {
+				h.Metrics = len(e.Metrics.Metrics)
+			}
+			out = append(out, h)
+		}
+		resp := struct {
+			Entries []server.HistoryEntry `json:"entries"`
+			Skipped string                `json:"skipped,omitempty"`
+		}{Entries: out}
+		if lerr != nil {
+			resp.Skipped = lerr.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/history/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if c.st == nil {
+			httpError(w, http.StatusNotFound, "no shared store; run vgiwctl with -store-dir")
+			return
+		}
+		key := r.PathValue("key")
+		e, err := c.st.Get(key)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if e == nil {
+			httpError(w, http.StatusNotFound, "no stored result for key %s", key)
+			return
+		}
+		writeJSON(w, http.StatusOK, e)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone mid-write
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ParseRetryAfter interprets a Retry-After response header value against the
+// given current time. RFC 9110 allows two forms: a non-negative integer
+// delay in seconds ("3") and an HTTP-date ("Mon, 02 Jan 2006 15:04:05 GMT").
+// vgiwd emits the seconds form, but the client accepts both so it stays
+// correct behind proxies that rewrite the header. The second return reports
+// whether the value parsed; malformed values (negative, fractional,
+// non-numeric, bad dates) return (0, false) so callers fall back to their
+// own backoff schedule instead of trusting garbage. A parsed HTTP-date in
+// the past clamps to zero: "retry now" is the only sane reading.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	// Seconds form: all-digit, so "-1", "1.5", and "3s" are rejected here
+	// and (not being valid HTTP-dates either) fall out as malformed.
+	if isDigits(v) {
+		// Cap absurd values instead of overflowing time.Duration: 24h of
+		// Retry-After is already "come back tomorrow".
+		const maxSeconds = 24 * 60 * 60
+		var secs int64
+		for i := 0; i < len(v); i++ {
+			secs = secs*10 + int64(v[i]-'0')
+			if secs > maxSeconds {
+				secs = maxSeconds
+				break
+			}
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

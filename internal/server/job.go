@@ -57,6 +57,7 @@ type execution struct {
 type Job struct {
 	ID      string
 	Spec    bench.JobSpec // as submitted (normalized, deadline included)
+	Tenant  string        // who submitted it (X-VGIW-Tenant; "default" for bare clients)
 	Shared  bool          // attached to an execution another job started
 	created time.Time
 
@@ -111,12 +112,17 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
 }
 
+// Terminal reports whether the view's state is one clients can stop
+// polling on.
+func (v *JobView) Terminal() bool { return terminal(v.State) }
+
 // JobView is the wire form of a job's status.
 type JobView struct {
 	ID      string        `json:"id"`
 	State   string        `json:"state"`
 	Reason  string        `json:"reason,omitempty"`
 	Spec    bench.JobSpec `json:"spec"`
+	Tenant  string        `json:"tenant,omitempty"` // submitting tenant (never part of the content key)
 	Shared  bool          `json:"shared,omitempty"` // deduped onto an in-flight execution
 	Created time.Time     `json:"created"`
 	Started *time.Time    `json:"started,omitempty"`

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"default", "team-a", "a", "A.b_c-9", strings.Repeat("x", 64)} {
+		if !ValidTenant(ok) {
+			t.Errorf("ValidTenant(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "sémantics", "a/b", `x"y`, strings.Repeat("x", 65), "new\nline"} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true, want false", bad)
+		}
+	}
+}
+
+// TestTenantPropagation pins the X-VGIW-Tenant plumbing: the header lands in
+// the job view, bare clients get the default tenant, per-tenant admission
+// counters appear on /metrics, and the tenant never perturbs the content key
+// (two tenants submitting the same spec share one execution).
+func TestTenantPropagation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	submit := func(tenant string) JobView {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=1",
+			strings.NewReader(`{"kernel":"bfs.kernel1"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decodeView(t, resp)
+	}
+
+	if v := submit("sweep-a"); v.Tenant != "sweep-a" || v.State != StateDone {
+		t.Fatalf("tenant submit: %+v", v)
+	}
+	if v := submit(""); v.Tenant != DefaultTenant {
+		t.Fatalf("bare submit got tenant %q, want %q", v.Tenant, DefaultTenant)
+	}
+	// A second tenant submitting the same spec must still dedup/store-share:
+	// tenant is metadata, never part of the key. (With no store configured
+	// and the first execution finished, this runs again — but the tenant
+	// counter must label the right tenant either way.)
+	if v := submit("sweep-b"); v.Tenant != "sweep-b" {
+		t.Fatalf("second tenant: %+v", v)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`vgiw_metric{name="vgiwd/tenant_admitted/sweep-a"} 1`,
+		`vgiw_metric{name="vgiwd/tenant_admitted/sweep-b"} 1`,
+		`vgiw_metric{name="vgiwd/tenant_admitted/default"} 1`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// An invalid tenant id is rejected before admission.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"kernel":"bfs.kernel1"}`))
+	req.Header.Set(TenantHeader, "bad tenant!")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid tenant admitted: status %d", resp.StatusCode)
+	}
+	if got := s.Metrics().Counter("vgiwd/jobs_admitted"); got != 3 {
+		t.Errorf("jobs_admitted = %d, want 3", got)
+	}
+}
