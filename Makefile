@@ -1,19 +1,31 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-record trace-check serve-check fleet-check gate-check lint verify-check fuzz-smoke fmt
+.PHONY: check build test vet race bench bench-record trace-check serve-check fleet-check gate-check analyze lint verify-check fuzz-smoke fmt
 
-# check is the full pre-merge gate: static checks (go vet plus the
-# repo-specific vgiwlint), the test suite under the race detector, the
-# verifier gates (invalid-kernel corpus, checked pipelines, a short fuzz
-# smoke), one iteration of each perf-guard benchmark (allocs/op regressions
-# show up even at -benchtime=1x), the trace/metrics schema gate, the metric
-# regression gate against the checked-in baselines, the daemon smoke test,
-# and the fleet sweep gate (3 workers, a mid-sweep SIGKILL, byte-identical
-# merged results).
-check: vet lint build race verify-check fuzz-smoke bench trace-check gate-check serve-check fleet-check
+# check is the full pre-merge gate, in order: go vet, then the repo's own
+# static-analysis suite (`analyze` — determinism taint, lock discipline,
+# goroutine lifecycle, plus the migrated vgiwlint checks, all in strict
+# suppression-audit mode, a hard failure), then build, the test suite under
+# the race detector, the verifier gates (invalid-kernel corpus, checked
+# pipelines, a short fuzz smoke), one iteration of each perf-guard
+# benchmark (allocs/op regressions show up even at -benchtime=1x), the
+# trace/metrics schema gate, the metric regression gate against the
+# checked-in baselines, the daemon smoke test, and the fleet sweep gate
+# (3 workers, a mid-sweep SIGKILL, byte-identical merged results). Static
+# gates run first so a bad tree fails in seconds, not after the benches.
+check: vet analyze build race verify-check fuzz-smoke bench trace-check gate-check serve-check fleet-check
 
-# lint runs the repo-specific static checks: hotpath allocation bans,
-# trace.Sink nil-receiver guards, strided context polling (cmd/vgiwlint).
+# analyze runs cmd/vgiwcheck (internal/analysis) over the whole module in
+# strict mode: every finding must be fixed or carry a justified
+# //vgiw:allow, and stale suppressions themselves fail the gate. The JSON
+# stream is the machine artifact; findings land on stderr for humans.
+analyze:
+	$(GO) run ./cmd/vgiwcheck -root . -strict-suppressions -json > /dev/null || \
+		{ $(GO) run ./cmd/vgiwcheck -root . -strict-suppressions 1>&2; exit 1; }
+
+# lint is the deprecated alias for the three original vgiwlint checks
+# (hotpath, nilguard, ctxpoll); `analyze` runs them and more. Kept until
+# nothing invokes vgiwlint directly.
 lint:
 	$(GO) run ./cmd/vgiwlint -root .
 

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module root so the CLI
+// can be exercised end to end without touching the real tree.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "pkg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+const dirtySrc = `package pkg
+
+import "encoding/json"
+
+func leak(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	data, _ := json.Marshal(keys)
+	return data
+}
+`
+
+const cleanSrc = `package pkg
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+func tidy(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	data, _ := json.Marshal(keys)
+	return data
+}
+`
+
+func TestRunFindings(t *testing.T) {
+	root := writeModule(t, dirtySrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", root}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "pkg/pkg.go:10:13: det: keys carries map iteration order") {
+		t.Fatalf("human output missing positioned diagnostic:\n%s", got)
+	}
+	if strings.Contains(got, root) {
+		t.Fatalf("human output not root-relativized:\n%s", got)
+	}
+}
+
+func TestRunClean(t *testing.T) {
+	root := writeModule(t, cleanSrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", root}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run produced output: %s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	root := writeModule(t, dirtySrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", root, "-json"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var rows []struct {
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Check string `json:"check"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 || rows[0].Check != "det" || rows[0].File != "pkg/pkg.go" {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	root := writeModule(t, cleanSrc)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", root, "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("clean JSON output = %q, want []", out.String())
+	}
+}
+
+func TestRunStrictSuppressions(t *testing.T) {
+	const stale = `package pkg
+
+func twice(n int) int {
+	//vgiw:allow det -- stale
+	return n * 2
+}
+`
+	root := writeModule(t, stale)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", root}, &out, &errb); code != 0 {
+		t.Fatalf("default mode exit = %d, want 0 (stale allow only reported under -strict-suppressions)", code)
+	}
+	out.Reset()
+	if code := run([]string{"-root", root, "-strict-suppressions"}, &out, &errb); code != 1 {
+		t.Fatalf("strict exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "unused //vgiw:allow det suppression") {
+		t.Fatalf("strict output missing audit finding:\n%s", out.String())
+	}
+}
+
+func TestRunPackageSelection(t *testing.T) {
+	root := writeModule(t, dirtySrc)
+	other := filepath.Join(root, "other")
+	if err := os.MkdirAll(other, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(other, "other.go"), []byte(strings.Replace(cleanSrc, "package pkg", "package other", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", root, "other"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0: selecting the clean package must not report the dirty one\n%s", code, out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"det", "lock", "golife", "hotpath", "nilguard", "ctxpoll"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("pass catalog missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunBadRoot(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-root", filepath.Join(t.TempDir(), "missing")}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+}

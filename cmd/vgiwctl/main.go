@@ -136,7 +136,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer ln.Close()
 		fmt.Fprintf(stderr, "vgiwctl: serving fleet metrics on %s\n", ln.Addr())
-		go http.Serve(ln, coord.Handler()) //nolint:errcheck // dies with the process
+		//vgiw:allow golife -- bounded by the deferred ln.Close: Serve returns when the listener dies with the process
+		go http.Serve(ln, coord.Handler()) //nolint:errcheck
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusRoot is the known-bad corpus, mirroring testdata/invalid for the
+// kernel verifier: every file seeds violations whose exact positioned
+// diagnostics are pinned by //want:<check> (and //wantstrict:<check> for
+// -strict-suppressions-only findings) comments in the corpus itself.
+var corpusRoot = filepath.Join("..", "..", "testdata", "analysis", "src")
+
+// expectation is one pinned diagnostic: file and line come from where the
+// want comment sits (a trailing comment pins its own line; a standalone
+// comment line pins the next line).
+type expectation struct {
+	file   string // corpus-relative, slash-separated
+	line   int
+	check  string
+	substr string
+	strict bool
+}
+
+func (e expectation) String() string {
+	return fmt.Sprintf("%s:%d: %s: ...%s...", e.file, e.line, e.check, e.substr)
+}
+
+// scanExpectations reads every corpus file for want comments.
+func scanExpectations(t *testing.T) []expectation {
+	t.Helper()
+	var exps []expectation
+	err := filepath.Walk(corpusRoot, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(corpusRoot, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, marker := range []struct {
+				prefix string
+				strict bool
+			}{{"//want:", false}, {"//wantstrict:", true}} {
+				idx := strings.Index(line, marker.prefix)
+				if idx < 0 {
+					continue
+				}
+				rest := line[idx+len(marker.prefix):]
+				fields := strings.SplitN(rest, " ", 2)
+				if len(fields) != 2 {
+					t.Fatalf("%s:%d: malformed want comment %q", rel, i+1, line)
+				}
+				wantLine := i + 1 // trailing comment: same line
+				if strings.TrimSpace(line[:idx]) == "" {
+					wantLine = i + 2 // standalone comment: next line
+				}
+				exps = append(exps, expectation{
+					file:   filepath.ToSlash(rel),
+					line:   wantLine,
+					check:  fields[0],
+					substr: strings.TrimSpace(fields[1]),
+					strict: marker.strict,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Fatal("no //want expectations found in corpus")
+	}
+	return exps
+}
+
+func loadCorpus(t *testing.T) *Program {
+	t.Helper()
+	prog, err := Load(corpusRoot, "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// matchDiags checks diagnostics against expectations bidirectionally:
+// every expectation fires at its exact file:line with its check and
+// message, and every diagnostic is pinned by an expectation — so clean
+// corpus functions firing is as much a failure as violations going quiet.
+func matchDiags(t *testing.T, diags []Diagnostic, exps []expectation) {
+	t.Helper()
+	used := make([]bool, len(diags))
+	for _, e := range exps {
+		found := false
+		for i, d := range diags {
+			if used[i] {
+				continue
+			}
+			if filepath.ToSlash(d.Pos.Filename) != filepath.ToSlash(filepath.Join(corpusRoot, filepath.FromSlash(e.file))) {
+				continue
+			}
+			if d.Pos.Line != e.line || d.Check != e.check || !strings.Contains(d.Msg, e.substr) {
+				continue
+			}
+			used[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("expectation not met: %s\ngot:\n%s", e, dumpDiags(diags))
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			t.Errorf("unexpected diagnostic (no //want pins it): %s", d)
+		}
+	}
+}
+
+func dumpDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// TestCorpus runs the full pass suite over the known-bad corpus and
+// requires an exact bijection between diagnostics and //want comments.
+func TestCorpus(t *testing.T) {
+	prog := loadCorpus(t)
+	a := &Analyzer{Passes: DefaultPasses()}
+	diags := a.Run(prog)
+	var want []expectation
+	for _, e := range scanExpectations(t) {
+		if !e.strict {
+			want = append(want, e)
+		}
+	}
+	matchDiags(t, diags, want)
+}
+
+// TestCorpusStrict re-runs with -strict-suppressions semantics: the
+// //wantstrict expectations (unused allows, unknown checks, stale
+// coarsepoll markers) must surface on top of the regular set.
+func TestCorpusStrict(t *testing.T) {
+	prog := loadCorpus(t)
+	a := &Analyzer{Passes: DefaultPasses(), Strict: true}
+	diags := a.Run(prog)
+	matchDiags(t, diags, scanExpectations(t))
+}
+
+// TestSeededSuiteResultExact pins the acceptance-criterion scenario — an
+// unsorted map range reaching SuiteResult JSON — down to the exact
+// rendered diagnostic, column included.
+func TestSeededSuiteResultExact(t *testing.T) {
+	prog := loadCorpus(t)
+	a := &Analyzer{Passes: []*Pass{DetPass()}}
+	var hits []string
+	for _, d := range a.Run(prog) {
+		if strings.Contains(d.Msg, "json-tagged field Rows receives") {
+			hits = append(hits, d.String())
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly one SuiteResult field diagnostic, got %v", hits)
+	}
+	wantFile := filepath.Join(corpusRoot, "det", "det.go")
+	line := mustLineOf(t, wantFile, "res.Rows = rows")
+	want := fmt.Sprintf("%s:%d:2: det: json-tagged field Rows receives a value carrying map iteration order without an intervening sort", wantFile, line)
+	if hits[0] != want {
+		t.Fatalf("exact diagnostic mismatch:\n got %s\nwant %s", hits[0], want)
+	}
+}
+
+// mustLineOf returns the 1-based line of the first occurrence of substr.
+func mustLineOf(t *testing.T, file, substr string) int {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: no line contains %q", file, substr)
+	return 0
+}
+
+// TestReportFiltering loads only detcross/detb: deta must still be
+// analyzed (its facts drive detb's findings) but produce no diagnostics
+// of its own.
+func TestReportFiltering(t *testing.T) {
+	prog, err := LoadPackages(corpusRoot, "corpus", []string{"detcross/detb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Passes: DefaultPasses()}
+	diags := a.Run(prog)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics from detb alone, got:\n%s", dumpDiags(diags))
+	}
+	for _, d := range diags {
+		if !strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), "detcross/detb/detb.go") {
+			t.Errorf("diagnostic outside the requested package: %s", d)
+		}
+	}
+}
+
+// TestJSONOutput checks the machine-output schema and root-relativized
+// paths `make analyze` consumers rely on.
+func TestJSONOutput(t *testing.T) {
+	prog := loadCorpus(t)
+	a := &Analyzer{Passes: []*Pass{DetPass()}}
+	diags := a.Run(prog)
+	var buf bytes.Buffer
+	if err := RenderJSON(&buf, diags, corpusRoot); err != nil {
+		t.Fatal(err)
+	}
+	var out []JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != len(diags) {
+		t.Fatalf("JSON rows %d != diagnostics %d", len(out), len(diags))
+	}
+	for _, d := range out {
+		if filepath.IsAbs(d.File) || strings.HasPrefix(d.File, "..") {
+			t.Errorf("path not root-relative: %q", d.File)
+		}
+		if d.Line == 0 || d.Check == "" || d.Msg == "" {
+			t.Errorf("incomplete row: %+v", d)
+		}
+	}
+}
+
+// TestRepoIsClean is the enforcement test behind `make analyze`: the real
+// tree must analyze clean under the full suite in strict mode — fix the
+// code or add a justified //vgiw:allow.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := Load(filepath.Join("..", ".."), "vgiw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Passes: DefaultPasses(), Strict: true}
+	if diags := a.Run(prog); len(diags) > 0 {
+		t.Errorf("vgiwcheck findings in the tree:\n%s", dumpDiags(diags))
+	}
+}

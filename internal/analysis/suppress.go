@@ -1,0 +1,120 @@
+// Suppressions: `//vgiw:allow <check> -- reason` silences one check at one
+// site. The comment covers its own line and the next (so it works both as
+// an end-of-line comment on the flagged statement and as a standalone line
+// above it); placed in a function's doc comment it covers the whole
+// function. Every use is tracked, so -strict-suppressions can report
+// allows that no longer suppress anything — an escape must not outlive the
+// code it excused.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MarkerAllow prefixes a suppression comment; the first following word is
+// the check name, anything after `--` is the (conventionally mandatory)
+// justification.
+const MarkerAllow = "//vgiw:allow"
+
+type allowEntry struct {
+	pos       token.Position // position of the comment itself
+	check     string
+	startLine int // first suppressed line
+	endLine   int // last suppressed line (inclusive)
+	used      bool
+}
+
+type suppressions struct {
+	// byFile groups entries by filename for cheap lookup.
+	byFile map[string][]*allowEntry
+}
+
+// collectSuppressions scans every file of every unit for allow comments.
+func collectSuppressions(prog *Program) *suppressions {
+	s := &suppressions{byFile: make(map[string][]*allowEntry)}
+	for _, u := range prog.Units {
+		for _, f := range u.Files {
+			// Doc-comment allows cover the whole declaration they document.
+			docRange := make(map[*ast.Comment][2]int)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				start := prog.Fset.Position(fd.Pos()).Line
+				end := prog.Fset.Position(fd.End()).Line
+				for _, c := range fd.Doc.List {
+					docRange[c] = [2]int{start, end}
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					check, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					e := &allowEntry{pos: pos, check: check, startLine: pos.Line, endLine: pos.Line + 1}
+					if r, ok := docRange[c]; ok {
+						e.startLine, e.endLine = r[0], r[1]
+					}
+					s.byFile[pos.Filename] = append(s.byFile[pos.Filename], e)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseAllow extracts the check name from an allow comment.
+func parseAllow(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), MarkerAllow)
+	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// covers reports whether some allow entry suppresses d, marking the entry
+// used.
+func (s *suppressions) covers(d Diagnostic) bool {
+	hit := false
+	for _, e := range s.byFile[d.Pos.Filename] {
+		if e.check == d.Check && e.startLine <= d.Pos.Line && d.Pos.Line <= e.endLine {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// audit returns strict-mode findings: allow entries that suppressed
+// nothing this run, and entries naming a check no pass provides. Only
+// entries in reportable files surface, so a partial load does not complain
+// about suppressions it never exercised elsewhere in the tree.
+func (s *suppressions) audit(known map[string]bool, reportable map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for file, entries := range s.byFile {
+		if !reportable[file] {
+			continue
+		}
+		for _, e := range entries {
+			switch {
+			case !known[e.check]:
+				out = append(out, Diagnostic{Pos: e.pos, Check: "suppress", Strict: true,
+					Msg: "//vgiw:allow names unknown check " + e.check})
+			case !e.used:
+				out = append(out, Diagnostic{Pos: e.pos, Check: "suppress", Strict: true,
+					Msg: "unused //vgiw:allow " + e.check + " suppression (nothing here trips the check; remove it)"})
+			}
+		}
+	}
+	return out
+}

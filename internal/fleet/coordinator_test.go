@@ -14,6 +14,7 @@ import (
 
 	"vgiw/internal/bench"
 	"vgiw/internal/kernels"
+	"vgiw/internal/leaktest"
 	"vgiw/internal/server"
 	"vgiw/internal/store"
 )
@@ -75,6 +76,12 @@ func stubWorker(t testing.TB, delay time.Duration, onJob func(spec bench.JobSpec
 // report byte-identical to a single-process run of the same matrix, with
 // the duplicate deduped fleet-wide — executed once, reported per task.
 func TestCoordinatorMergeByteIdentical(t *testing.T) {
+	// The full dispatch path spawns slot and probe goroutines per worker;
+	// leaktest pins this test if Run returns without reaping them
+	// (TestMain catches the same suite-wide, without naming the offender).
+	// Registered before realWorker so the LIFO cleanup order runs the leak
+	// check after the workers' own shutdown cleanups.
+	t.Cleanup(leaktest.Check(t))
 	_, w1 := realWorker(t, server.Config{})
 	_, w2 := realWorker(t, server.Config{})
 

@@ -1,0 +1,14 @@
+package fleet
+
+import (
+	"testing"
+
+	"vgiw/internal/leaktest"
+)
+
+// TestMain gates the whole suite on goroutine hygiene: coordinator slots,
+// probe loops, and stub-worker servers started by any test here must all
+// be gone (within leaktest's grace period) once the last test finishes.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

@@ -1,45 +1,25 @@
-// Package lint implements vgiwlint, the repo-specific static checks that
-// guard contracts the compiler and simulators rely on but go vet cannot see:
+// Package lint is the legacy entry point for the three original vgiwlint
+// checks (hotpath allocation bans, trace.Sink nil-receiver guards, strided
+// context polling). The checks themselves migrated to internal/analysis,
+// which runs them alongside the det/lock/golife passes under cmd/vgiwcheck
+// and `make analyze`; this package remains only as a thin shim so
+// cmd/vgiwlint keeps working during the deprecation window.
 //
-//   - hotpath: a function whose doc comment carries the //vgiw:hotpath
-//     marker must not contain allocating constructs — append, map literals,
-//     make(map), closures, or fmt calls. The simulator hot loops are
-//     engineered to 0 allocs/op (BenchmarkEngineHotPath pins this); the
-//     marker turns that benchmark's property into a compile-time-checkable
-//     contract on each function.
-//
-//   - nilguard: exported pointer-receiver methods of trace.Sink must start
-//     by handling a nil receiver. A nil *Sink is the documented "tracing
-//     off" state, passed through every simulator; one unguarded method is a
-//     latent crash on every untraced run.
-//
-//   - ctxpoll: a ctx.Err() poll inside a loop must be strided (guarded by a
-//     modulus or countdown) or the function must carry //vgiw:coarsepoll,
-//     declaring its iterations coarse enough to poll every time. Per-token
-//     polls in the simulator loops are a measured multi-percent tax.
-//
-// The package uses only go/parser and go/types (source importer) — no
-// dependencies beyond the standard library.
+// Deprecated: use vgiw/internal/analysis (cmd/vgiwcheck). This shim will
+// be removed once nothing invokes vgiwlint directly.
 package lint
 
 import (
-	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
-	"go/types"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"vgiw/internal/analysis"
 )
 
 // MarkerHotpath and MarkerCoarsepoll are the magic comments the checks key
 // on. They live in a function's doc comment.
 const (
-	MarkerHotpath    = "//vgiw:hotpath"
-	MarkerCoarsepoll = "//vgiw:coarsepoll"
+	MarkerHotpath    = analysis.MarkerHotpath
+	MarkerCoarsepoll = analysis.MarkerCoarsepoll
 )
 
 // Finding is one lint violation.
@@ -50,377 +30,44 @@ type Finding struct {
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Check, f.Msg)
+	return f.Pos.String() + ": " + f.Check + ": " + f.Msg
 }
 
-// Dir parses and type-checks the single package in dir (test files
-// excluded) and returns its findings. pkgPath is the import path to
-// type-check under; the source importer resolves any module-internal
-// imports from the surrounding module.
+// legacyPasses returns the three migrated checks, the exact surface this
+// shim exposes.
+func legacyPasses() []*analysis.Pass {
+	return []*analysis.Pass{
+		analysis.HotpathPass(),
+		analysis.NilguardPass(),
+		analysis.CtxpollPass(),
+	}
+}
+
+func run(prog *analysis.Program) []Finding {
+	a := &analysis.Analyzer{Passes: legacyPasses()}
+	diags := a.Run(prog)
+	fs := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		fs = append(fs, Finding{Pos: d.Pos, Check: d.Check, Msg: d.Msg})
+	}
+	return fs
+}
+
+// Dir lints the single package in dir, type-checked as pkgPath.
 func Dir(dir, pkgPath string) ([]Finding, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
+	prog, err := analysis.LoadDir(dir, pkgPath)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
-	for name := range pkgs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var all []Finding
-	for _, name := range names {
-		pkg := pkgs[name]
-		var files []*ast.File
-		var fnames []string
-		for fname := range pkg.Files {
-			fnames = append(fnames, fname)
-		}
-		sort.Strings(fnames)
-		for _, fname := range fnames {
-			files = append(files, pkg.Files[fname])
-		}
-		info := &types.Info{
-			Types: make(map[ast.Expr]types.TypeAndValue),
-			Uses:  make(map[*ast.Ident]types.Object),
-			Defs:  make(map[*ast.Ident]types.Object),
-		}
-		conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-		if _, err := conf.Check(pkgPath, fset, files, info); err != nil {
-			return nil, fmt.Errorf("lint: %s: %w", dir, err)
-		}
-		all = append(all, Package(fset, name, files, info)...)
-	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].Pos, all[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		return a.Offset < b.Offset
-	})
-	return all, nil
-}
-
-// Package runs all checks over one type-checked package.
-func Package(fset *token.FileSet, pkgName string, files []*ast.File, info *types.Info) []Finding {
-	var fs []Finding
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if hasMarker(fd.Doc, MarkerHotpath) {
-				fs = append(fs, checkHotpath(fset, fd, info)...)
-			}
-			if pkgName == "trace" {
-				fs = append(fs, checkNilGuard(fset, fd)...)
-			}
-			if !hasMarker(fd.Doc, MarkerCoarsepoll) {
-				fs = append(fs, checkCtxPoll(fset, fd, info)...)
-			}
-		}
-	}
-	return fs
-}
-
-func hasMarker(doc *ast.CommentGroup, marker string) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == marker {
-			return true
-		}
-	}
-	return false
-}
-
-// checkHotpath flags allocating constructs in a //vgiw:hotpath function:
-// append, map literals, make(map), func literals, and fmt calls. Slice
-// make() is allowed — the hot loops pre-size reusable buffers, which is
-// exactly the pattern that keeps the steady state allocation-free.
-func checkHotpath(fset *token.FileSet, fd *ast.FuncDecl, info *types.Info) []Finding {
-	var fs []Finding
-	add := func(pos token.Pos, format string, args ...any) {
-		fs = append(fs, Finding{Pos: fset.Position(pos), Check: "hotpath",
-			Msg: fmt.Sprintf(format, args...) + " in //vgiw:hotpath function " + fd.Name.Name})
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			add(n.Pos(), "function literal (closure allocation)")
-			return false // the closure's own body is off the hot path
-		case *ast.CompositeLit:
-			if t := info.TypeOf(n); t != nil {
-				if _, isMap := t.Underlying().(*types.Map); isMap {
-					add(n.Pos(), "map literal")
-				}
-			}
-		case *ast.CallExpr:
-			switch fun := n.Fun.(type) {
-			case *ast.Ident:
-				if obj, ok := info.Uses[fun].(*types.Builtin); ok {
-					switch obj.Name() {
-					case "append":
-						add(n.Pos(), "append (may grow and allocate)")
-					case "make":
-						if len(n.Args) > 0 {
-							if t := info.TypeOf(n.Args[0]); t != nil {
-								if _, isMap := t.Underlying().(*types.Map); isMap {
-									add(n.Pos(), "make(map)")
-								}
-							}
-						}
-					}
-				}
-			case *ast.SelectorExpr:
-				if id, ok := fun.X.(*ast.Ident); ok {
-					if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
-						add(n.Pos(), "fmt.%s call (allocates on every call)", fun.Sel.Name)
-					}
-				}
-			}
-		}
-		return true
-	})
-	return fs
-}
-
-// checkNilGuard enforces the trace.Sink receiver contract: every exported
-// pointer-receiver method of Sink must handle a nil receiver before touching
-// it, either with a leading `if s == nil` statement or, for one-line
-// methods, a `s != nil`/`s == nil` test inside the single return expression.
-func checkNilGuard(fset *token.FileSet, fd *ast.FuncDecl) []Finding {
-	if fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
-		return nil
-	}
-	star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
-	if !ok {
-		return nil
-	}
-	id, ok := star.X.(*ast.Ident)
-	if !ok || id.Name != "Sink" {
-		return nil
-	}
-	if len(fd.Recv.List[0].Names) != 1 {
-		return nil // unnamed receiver cannot be dereferenced at all
-	}
-	recv := fd.Recv.List[0].Names[0].Name
-	if len(fd.Body.List) > 0 {
-		switch first := fd.Body.List[0].(type) {
-		case *ast.IfStmt:
-			if mentionsNilTest(first.Cond, recv) {
-				return nil
-			}
-		case *ast.ReturnStmt:
-			for _, e := range first.Results {
-				if mentionsNilTest(e, recv) {
-					return nil
-				}
-			}
-		}
-	}
-	return []Finding{{Pos: fset.Position(fd.Pos()), Check: "nilguard",
-		Msg: fmt.Sprintf("exported method (*Sink).%s must start by handling a nil receiver (a nil sink means tracing is off)", fd.Name.Name)}}
-}
-
-// mentionsNilTest reports whether expr contains `recv == nil` or
-// `recv != nil` (possibly inside a larger boolean expression).
-func mentionsNilTest(expr ast.Expr, recv string) bool {
-	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-			return true
-		}
-		x, xo := be.X.(*ast.Ident)
-		y, yo := be.Y.(*ast.Ident)
-		if xo && yo && ((x.Name == recv && y.Name == "nil") || (y.Name == recv && x.Name == "nil")) {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-// checkCtxPoll flags context.Context Err() polls that run on every
-// iteration of a loop. A poll is accepted when it sits under an if with a
-// modulus in its condition (`if j%stride == 0`) or an init/countdown
-// statement (`if n--; n <= 0`), the two strided idioms the simulators use.
-func checkCtxPoll(fset *token.FileSet, fd *ast.FuncDecl, info *types.Info) []Finding {
-	var fs []Finding
-	type frame struct {
-		loop    bool // ForStmt or RangeStmt
-		strided bool // IfStmt with a modulus condition or an init statement
-	}
-	var stack []frame
-
-	// ast.Inspect cannot report which node a post-order visit is leaving,
-	// and the check needs matched push/pop around loops and ifs, so walk
-	// with explicit recursion instead.
-	var rec func(n ast.Node)
-	rec = func(n ast.Node) {
-		if n == nil {
-			return
-		}
-		pushed := false
-		switch n := n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt:
-			stack = append(stack, frame{loop: true})
-			pushed = true
-		case *ast.IfStmt:
-			// An if with a modulus condition or a countdown init is a stride
-			// guard — but `if err := ctx.Err(); ...` is the poll itself, not
-			// a guard, so an init that contains the poll does not count.
-			strided := hasModulus(n.Cond) ||
-				(n.Init != nil && !containsCtxErr(n.Init, info))
-			stack = append(stack, frame{strided: strided})
-			pushed = true
-		case *ast.FuncLit:
-			// A nested closure polls on its own schedule; its loops are
-			// judged on their own, not against the enclosing function's.
-			saved := stack
-			stack = nil
-			rec(n.Body)
-			stack = saved
-			return
-		case *ast.CallExpr:
-			if isCtxErrCall(n, info) {
-				inLoop, strided := false, false
-				for _, f := range stack {
-					if f.loop {
-						inLoop, strided = true, false // reset at each loop level
-					}
-					if f.strided {
-						strided = true
-					}
-				}
-				if inLoop && !strided {
-					fs = append(fs, Finding{Pos: fset.Position(n.Pos()), Check: "ctxpoll",
-						Msg: fmt.Sprintf("ctx.Err() polled every loop iteration in %s; stride the poll or mark the function %s", fd.Name.Name, MarkerCoarsepoll)})
-				}
-			}
-		}
-		for _, c := range children(n) {
-			rec(c)
-		}
-		if pushed {
-			stack = stack[:len(stack)-1]
-		}
-	}
-	rec(fd.Body)
-	return fs
-}
-
-// children returns the direct child nodes of n, in source order.
-func children(n ast.Node) []ast.Node {
-	var out []ast.Node
-	first := true
-	ast.Inspect(n, func(c ast.Node) bool {
-		if first {
-			first = false
-			return true // skip n itself, descend
-		}
-		if c != nil {
-			out = append(out, c)
-		}
-		return false // do not descend further; rec handles recursion
-	})
-	return out
-}
-
-func containsCtxErr(n ast.Node, info *types.Info) bool {
-	found := false
-	ast.Inspect(n, func(c ast.Node) bool {
-		if call, ok := c.(*ast.CallExpr); ok && isCtxErrCall(call, info) {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-func hasModulus(expr ast.Expr) bool {
-	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.REM {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-// isCtxErrCall reports whether n is x.Err() with x a context.Context.
-func isCtxErrCall(n *ast.CallExpr, info *types.Info) bool {
-	sel, ok := n.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Err" || len(n.Args) != 0 {
-		return false
-	}
-	t := info.TypeOf(sel.X)
-	if t == nil {
-		return false
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+	return run(prog), nil
 }
 
 // Walk lints every package directory under root (skipping testdata and
 // hidden directories), deriving each import path as modPath/rel.
 func Walk(root, modPath string) ([]Finding, error) {
-	var all []Finding
-	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if !fi.IsDir() {
-			return nil
-		}
-		base := filepath.Base(path)
-		if base == "testdata" || strings.HasPrefix(base, ".") && path != root {
-			return filepath.SkipDir
-		}
-		hasGo, err := dirHasGo(path)
-		if err != nil || !hasGo {
-			return err
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		pkgPath := modPath
-		if rel != "." {
-			pkgPath = modPath + "/" + filepath.ToSlash(rel)
-		}
-		fs, err := Dir(path, pkgPath)
-		if err != nil {
-			return err
-		}
-		all = append(all, fs...)
-		return nil
-	})
-	return all, err
-}
-
-func dirHasGo(dir string) (bool, error) {
-	ents, err := os.ReadDir(dir)
+	prog, err := analysis.Load(root, modPath)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
-	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
-			return true, nil
-		}
-	}
-	return false, nil
+	return run(prog), nil
 }

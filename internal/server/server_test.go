@@ -16,6 +16,7 @@ import (
 
 	"vgiw/internal/bench"
 	"vgiw/internal/kernels"
+	"vgiw/internal/leaktest"
 )
 
 // newTestServer builds a server + httptest frontend and registers shutdown
@@ -250,6 +251,12 @@ func TestOverloadRejects(t *testing.T) {
 // TestGracefulDrain lets queued work finish during Shutdown and verifies
 // post-drain submissions are refused with 503.
 func TestGracefulDrain(t *testing.T) {
+	// Drain is the server's lifecycle teardown; leaktest pins the exact
+	// test if a worker or watchdog goroutine survives it (TestMain catches
+	// the same suite-wide, but without naming the offender). Registered
+	// before newTestServer so the LIFO cleanup order runs the leak check
+	// after the server's own shutdown cleanup.
+	t.Cleanup(leaktest.Check(t))
 	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
 
 	var admitted []JobView

@@ -1,0 +1,47 @@
+// Package ctxpoll is the known-bad corpus for the migrated ctxpoll pass:
+// per-iteration ctx.Err() polls must be strided or the function marked
+// //vgiw:coarsepoll.
+package ctxpoll
+
+import "context"
+
+var sink uint64
+
+// pollEvery polls on every iteration.
+func pollEvery(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil { //want:ctxpoll ctx.Err() polled every loop iteration in pollEvery
+			return err
+		}
+		sink++
+	}
+	return nil
+}
+
+// pollStrided uses the modulus idiom: silent.
+func pollStrided(ctx context.Context, n int) error {
+	const stride = 64
+	for i := 0; i < n; i++ {
+		if i%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		sink++
+	}
+	return nil
+}
+
+// pollCoarse is marked: each iteration is a whole coarse work item, and
+// the marker is genuinely used (strict mode must not flag it).
+//
+//vgiw:coarsepoll
+func pollCoarse(ctx context.Context, items []func()) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it()
+	}
+	return nil
+}

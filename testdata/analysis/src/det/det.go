@@ -1,0 +1,169 @@
+// Package det is the known-bad corpus for the determinism-taint pass.
+// Each "want" comment pins an exact positioned diagnostic the pass must
+// produce on that line; functions without one must stay silent.
+// The file mirrors the repo's real serialization shapes — badSuiteJSON is
+// the seeded PR-1 bug class: an unsorted map range reaching SuiteResult
+// JSON.
+package det
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SuiteResult mirrors bench.SuiteResult's shape: json-tagged fields are
+// what the pass treats as serialization sinks.
+type SuiteResult struct {
+	Name string   `json:"name"`
+	Rows []string `json:"rows"`
+}
+
+// badSuiteJSON collects map keys in iteration order and assigns them to a
+// json-tagged field: the seeded unsorted-map-range-reaches-SuiteResult bug.
+func badSuiteJSON(m map[string]int) []byte {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	res := SuiteResult{Name: "suite"}
+	res.Rows = rows //want:det json-tagged field Rows receives a value carrying map iteration order without an intervening sort
+	data, _ := json.Marshal(res)
+	return data
+}
+
+// badSuiteLit does the same through a composite literal.
+func badSuiteLit(m map[string]int) []byte {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	data, _ := json.Marshal(SuiteResult{Rows: rows}) //want:det json-tagged field Rows is initialized with a value carrying map iteration order
+	return data
+}
+
+// goodSuiteJSON sorts before the field assignment: silent.
+func goodSuiteJSON(m map[string]int) []byte {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	sort.Strings(rows)
+	res := SuiteResult{Name: "suite"}
+	res.Rows = rows
+	data, _ := json.Marshal(res)
+	return data
+}
+
+// badMarshalSlice marshals the accumulated keys directly.
+func badMarshalSlice(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	data, _ := json.Marshal(keys) //want:det keys carries map iteration order and reaches encoding/json.Marshal
+	return data
+}
+
+// goodSortedKeys is the canonical clean pattern: collect, sort, emit.
+func goodSortedKeys(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	data, _ := json.Marshal(keys)
+	return data
+}
+
+// badFprint emits inside the loop: no later sort can help.
+func badFprint(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) //want:det map iteration order reaches fmt.Fprintf
+	}
+}
+
+// badSend pushes keys into a channel in iteration order.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //want:det map iteration order determines channel send order
+	}
+}
+
+// badFloatSum reassociates float addition across iteration orders: the sum
+// itself is nondeterministic, so this is reported outright.
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //want:det floating-point accumulation follows map iteration order
+	}
+	return sum
+}
+
+// goodIntSum is exact under reassociation: silent.
+func goodIntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// badConcatPrint accumulates a string in iteration order and prints it.
+func badConcatPrint(m map[string]int) {
+	var out string
+	for k := range m {
+		out += k
+	}
+	fmt.Println(out) //want:det out carries map iteration order and reaches fmt.Println
+}
+
+// badSelect merges two result channels in arrival order and serializes.
+func badSelect(a, b chan string) []byte {
+	var got []string
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-a:
+			got = append(got, v)
+		case v := <-b:
+			got = append(got, v)
+		}
+	}
+	data, _ := json.Marshal(got) //want:det got carries select arrival order and reaches encoding/json.Marshal
+	return data
+}
+
+// goodSelect sorts the merged results first: silent.
+func goodSelect(a, b chan string) []byte {
+	var got []string
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-a:
+			got = append(got, v)
+		case v := <-b:
+			got = append(got, v)
+		}
+	}
+	sort.Strings(got)
+	data, _ := json.Marshal(got)
+	return data
+}
+
+// goodMapInvert writes into another map: set semantics, order-free.
+func goodMapInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// goodCount only counts: silent.
+func goodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

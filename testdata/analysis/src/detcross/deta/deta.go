@@ -1,0 +1,15 @@
+// Package deta exports a function that returns map keys unsorted. The det
+// pass attaches OrderedFact to Keys; package detb (which imports this one
+// and is analyzed after it) must see the fact.
+package deta
+
+// Keys returns m's keys in iteration order — callers must sort before
+// serializing. (Silent here: returning unsorted data is legal; only an
+// unsorted flow into a sink is a finding.)
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

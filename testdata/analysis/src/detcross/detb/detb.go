@@ -1,0 +1,32 @@
+// Package detb consumes deta.Keys across the package boundary: the
+// OrderedFact exported while analyzing deta must flag the unsorted flow
+// here, and the sorted variant must stay silent.
+package detb
+
+import (
+	"encoding/json"
+	"sort"
+
+	"corpus/detcross/deta"
+)
+
+// Bad serializes the unsorted cross-package result.
+func Bad(m map[string]int) []byte {
+	ks := deta.Keys(m)
+	data, _ := json.Marshal(ks) //want:det ks carries the unsorted map-order result of deta.Keys and reaches encoding/json.Marshal
+	return data
+}
+
+// Good sorts the result first: silent.
+func Good(m map[string]int) []byte {
+	ks := deta.Keys(m)
+	sort.Strings(ks)
+	data, _ := json.Marshal(ks)
+	return data
+}
+
+// BadDirect feeds the call result straight into the sink.
+func BadDirect(m map[string]int) []byte {
+	data, _ := json.Marshal(deta.Keys(m)) //want:det the unsorted map-order result of deta.Keys reaches encoding/json.Marshal
+	return data
+}

@@ -1,0 +1,92 @@
+// Package golife is the known-bad corpus for the goroutine-lifecycle
+// pass: every `go` statement must show a context, WaitGroup, or external
+// channel tying it to a lifecycle; self-governing named callees are
+// accepted through the fact store.
+package golife
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// badLeak spawns a goroutine nothing can stop or await.
+func badLeak() {
+	go func() { //want:golife goroutine in badLeak is not tied to a context, WaitGroup, or stop channel
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// badNamed spawns an untied named function.
+func badNamed() {
+	go idle() //want:golife goroutine in badNamed is not tied to a context, WaitGroup, or stop channel
+}
+
+func idle() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// goodCtx is cancelable: silent.
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goodWG is awaitable: silent.
+func goodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// goodStop watches an external stop channel: silent.
+func goodStop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+}
+
+// goodResult reports completion on an external channel: silent.
+func goodResult(out chan<- int) {
+	go func() {
+		out <- 42
+	}()
+}
+
+// goodNamedArg ties the named spawn through its argument: silent.
+func goodNamedArg(stop chan struct{}) {
+	go drain(stop)
+}
+
+func drain(stop chan struct{}) {
+	<-stop
+}
+
+type worker struct {
+	stop chan struct{}
+}
+
+// run is self-governing: it parks on the worker's stop channel.
+func (w *worker) run() {
+	<-w.stop
+}
+
+// start spawns run with no tying argument; the GovernedFact on run keeps
+// it silent.
+func (w *worker) start() {
+	go w.run()
+}

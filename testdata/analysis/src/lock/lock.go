@@ -1,0 +1,142 @@
+// Package lock is the known-bad corpus for the lock-discipline pass:
+// lock-value copies, blocking operations inside explicit Lock/Unlock
+// windows, and sync.Cond.Wait outside a re-check loop. The deferred-unlock
+// idiom and default-guarded selects must stay silent.
+package lock
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// value copies the mutex with its receiver.
+func (c counter) value() int { //want:lock method value has a value receiver that copies sync.Mutex
+	return c.n
+}
+
+// byValue copies the mutex through a parameter.
+func byValue(c counter) int { //want:lock parameter of byValue passes sync.Mutex by value
+	return c.n
+}
+
+// rangeCopy copies the mutex once per iteration.
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { //want:lock range value copies sync.Mutex each iteration
+		total += c.n
+	}
+	return total
+}
+
+// ptrValue takes the pointer: silent.
+func ptrValue(c *counter) int {
+	return c.n
+}
+
+type server struct {
+	mu   sync.Mutex
+	jobs chan int
+}
+
+// badRecv parks on a channel while holding the lock.
+func (s *server) badRecv() int {
+	s.mu.Lock()
+	v := <-s.jobs //want:lock channel receive while s.mu is locked
+	s.mu.Unlock()
+	return v
+}
+
+// badSleep sleeps while holding the lock.
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) //want:lock time.Sleep while s.mu is locked
+	s.mu.Unlock()
+}
+
+// badHTTP does a network round-trip while holding the lock.
+func (s *server) badHTTP(c *http.Client, req *http.Request) error {
+	s.mu.Lock()
+	_, err := c.Do(req) //want:lock net/http round-trip (Do) while s.mu is locked
+	s.mu.Unlock()
+	return err
+}
+
+// badWGWait waits on a WaitGroup while holding the lock.
+func (s *server) badWGWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() //want:lock sync.WaitGroup.Wait while s.mu is locked
+	s.mu.Unlock()
+}
+
+// badSelect parks on a no-default select while holding the lock.
+func (s *server) badSelect(stop chan struct{}) {
+	s.mu.Lock()
+	select { //want:lock blocking select while s.mu is locked
+	case <-s.jobs:
+	case <-stop:
+	}
+	s.mu.Unlock()
+}
+
+// goodSelectDefault never blocks: silent.
+func (s *server) goodSelectDefault() {
+	s.mu.Lock()
+	select {
+	case <-s.jobs:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// goodDefer is the repo's handler idiom — deferred unlock windows are
+// deliberately tolerated: silent.
+func (s *server) goodDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.jobs
+}
+
+// goodWindow closes the window before blocking: silent.
+func (s *server) goodWindow() {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n == 0 {
+		<-s.jobs
+	}
+}
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+// badWait re-checks with an if: the textbook lost-wakeup bug.
+func (q *queue) badWait() int {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.cond.Wait() //want:lock sync.Cond.Wait outside a for loop
+	}
+	v := q.items[0]
+	q.mu.Unlock()
+	return v
+}
+
+// goodWait re-checks in a loop: silent (holding the cond's lock at Wait is
+// required, not a finding).
+func (q *queue) goodWait() int {
+	q.mu.Lock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.mu.Unlock()
+	return v
+}

@@ -1,0 +1,35 @@
+// Package trace (corpus) pins the migrated nilguard pass: exported
+// pointer-receiver methods of a Sink type in a package named trace must
+// start by handling a nil receiver.
+package trace
+
+// Sink mimics the real trace.Sink's nil-means-off contract.
+type Sink struct {
+	n int
+}
+
+// Bad touches the receiver unguarded.
+func (s *Sink) Bad() int { //want:nilguard exported method (*Sink).Bad must start by handling a nil receiver
+	return s.n
+}
+
+// Good guards first: silent.
+func (s *Sink) Good() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Len guards inside a one-line return: silent.
+func (s *Sink) Len() int {
+	if s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// reset is unexported: the contract only binds the exported surface.
+func (s *Sink) reset() {
+	s.n = 0
+}

@@ -1,0 +1,43 @@
+// Package suppress pins the suppression machinery: a justified
+// //vgiw:allow silences its check, and -strict-suppressions reports
+// allows (and //vgiw:coarsepoll markers) that excuse nothing, plus
+// unknown check names.
+package suppress
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// suppressed has a real det finding excused with a reason: silent in both
+// modes.
+func suppressed(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	//vgiw:allow det -- output order is asserted by the caller's own sort
+	data, _ := json.Marshal(keys)
+	return data
+}
+
+// unusedAllow's suppression outlived the code it excused.
+func unusedAllow(n int) int {
+	//wantstrict:suppress unused //vgiw:allow det suppression
+	//vgiw:allow det -- stale: the map range here was removed
+	return n * 2
+}
+
+// typoed names a check no pass provides.
+func typoed(n int) int {
+	//wantstrict:suppress //vgiw:allow names unknown check nosuchcheck
+	//vgiw:allow nosuchcheck -- typo'd check name
+	return n + 1
+}
+
+// pollFree no longer loops, so its coarsepoll escape is stale.
+//
+//vgiw:coarsepoll
+func pollFree(ctx context.Context) error { //wantstrict:ctxpoll unused //vgiw:coarsepoll on pollFree
+	return ctx.Err()
+}
